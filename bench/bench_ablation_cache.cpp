@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Cache-organisation ablations: the sensitivity claims of §3.3 and the
+ * conflict-mitigation suggestions of §4.3.
+ *
+ *  1. associativity and a small victim cache "would likely reduce" the
+ *     conflict misses prefetching introduces (§4.3) — measured on
+ *     Topopt, the paper's conflict-heavy workload;
+ *  2. larger caches reduce non-sharing misses, making invalidation
+ *     misses dominant (§3.3);
+ *  3. larger block sizes increase false sharing and thus invalidation
+ *     misses (§3.3, confirming Eggers-Jeremiassen).
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "prefetch/inserter.hh"
+#include "sim/simulator.hh"
+#include "stats/table.hh"
+
+using namespace prefsim;
+
+namespace
+{
+
+struct RunOut
+{
+    SimStats np;
+    SimStats pref;
+};
+
+RunOut
+runBoth(const ParallelTrace &base, const CacheGeometry &geom,
+        unsigned victim_entries)
+{
+    SimConfig cfg;
+    cfg.timing.dataTransfer = 8;
+    cfg.geometry = geom;
+    cfg.victimEntries = victim_entries;
+
+    RunOut out;
+    const AnnotatedTrace np = annotateTrace(base, Strategy::NP, geom);
+    out.np = simulate(np.trace, cfg);
+    const AnnotatedTrace pref = annotateTrace(base, Strategy::PREF, geom);
+    out.pref = simulate(pref.trace, cfg);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    WorkloadParams params = parseBenchArgs(argc, argv);
+    Workbench bench(params);
+
+    // ------------------------------------------------------------------
+    std::cout << "=== Ablation 1: associativity & victim cache vs the "
+                 "conflicts prefetching introduces (topopt, T=8) ===\n\n";
+    {
+        const ParallelTrace &base = bench.baseTrace(WorkloadKind::Topopt);
+        TextTable t({"organisation", "NP non-shr misses",
+                     "PREF non-shr misses", "victim hits (NP)",
+                     "PREF rel. time"});
+        struct Org
+        {
+            const char *name;
+            std::uint32_t ways;
+            unsigned victims;
+        };
+        for (const Org org :
+             {Org{"direct-mapped (paper)", 1, 0},
+              Org{"DM + 4-entry victim cache", 1, 4},
+              Org{"DM + 16-entry victim cache", 1, 16},
+              Org{"2-way LRU", 2, 0}, Org{"4-way LRU", 4, 0}}) {
+            const CacheGeometry geom(32 * 1024, 32, org.ways);
+            const RunOut r = runBoth(base, geom, org.victims);
+            std::uint64_t victim_hits = 0;
+            for (const auto &p : r.np.procs)
+                victim_hits += p.victimHits;
+            t.addRow({org.name,
+                      TextTable::count(r.np.totalMisses().nonSharing()),
+                      TextTable::count(r.pref.totalMisses().nonSharing()),
+                      TextTable::count(victim_hits),
+                      TextTable::num(static_cast<double>(r.pref.cycles) /
+                                     static_cast<double>(r.np.cycles))});
+        }
+        t.print(std::cout);
+        std::cout << "paper 4.3: \"the magnitude of this conflict ... "
+                     "would likely be reduced by a victim cache or a "
+                     "set-associative cache.\"\n\n";
+    }
+
+    // ------------------------------------------------------------------
+    std::cout << "=== Ablation 2: cache size (pverify, NP, T=8) ===\n\n";
+    {
+        const ParallelTrace &base = bench.baseTrace(WorkloadKind::Pverify);
+        TextTable t({"cache", "non-shr MR", "inval MR", "inval share"});
+        for (std::uint32_t kb : {16u, 32u, 64u, 128u, 256u}) {
+            const CacheGeometry geom(kb * 1024, 32, 1);
+            SimConfig cfg;
+            cfg.timing.dataTransfer = 8;
+            cfg.geometry = geom;
+            const AnnotatedTrace ann = annotateTrace(base, Strategy::NP,
+                                                     geom);
+            const SimStats s = simulate(ann.trace, cfg);
+            const MissBreakdown m = s.totalMisses();
+            const auto refs = s.totalDemandRefs();
+            t.addRow({std::to_string(kb) + " KB",
+                      TextTable::percent(
+                          static_cast<double>(m.nonSharing()) /
+                              static_cast<double>(refs),
+                          2),
+                      TextTable::percent(s.invalidationMissRate(), 2),
+                      TextTable::percent(
+                          m.cpu() ? static_cast<double>(m.invalidation()) /
+                                        static_cast<double>(m.cpu())
+                                  : 0.0,
+                          0)});
+        }
+        t.print(std::cout);
+        std::cout << "paper 3.3: \"with larger caches, non-sharing "
+                     "misses were reduced, making invalidation miss "
+                     "effects much more dominant.\"\n\n";
+    }
+
+    // ------------------------------------------------------------------
+    std::cout << "=== Ablation 3: block size (topopt + pverify, NP, T=8) "
+                 "===\n\n";
+    {
+        TextTable t({"workload", "block", "inval MR", "FS MR",
+                     "FS share of invals"});
+        for (WorkloadKind w :
+             {WorkloadKind::Topopt, WorkloadKind::Pverify}) {
+            const ParallelTrace &base = bench.baseTrace(w);
+            for (std::uint32_t block : {16u, 32u, 64u, 128u}) {
+                const CacheGeometry geom(32 * 1024, block, 1);
+                SimConfig cfg;
+                cfg.timing.dataTransfer = 8;
+                cfg.geometry = geom;
+                const AnnotatedTrace ann =
+                    annotateTrace(base, Strategy::NP, geom);
+                const SimStats s = simulate(ann.trace, cfg);
+                const MissBreakdown m = s.totalMisses();
+                t.addRow(
+                    {workloadName(w), std::to_string(block) + " B",
+                     TextTable::percent(s.invalidationMissRate(), 2),
+                     TextTable::percent(s.falseSharingMissRate(), 2),
+                     TextTable::percent(
+                         m.invalidation()
+                             ? static_cast<double>(m.falseSharing) /
+                                   static_cast<double>(m.invalidation())
+                             : 0.0,
+                         0)});
+            }
+            t.addRule();
+        }
+        t.print(std::cout);
+        std::cout << "paper 3.3: \"larger block sizes increased false "
+                     "sharing and thus the total number of invalidation "
+                     "misses.\"\n";
+    }
+    return 0;
+}

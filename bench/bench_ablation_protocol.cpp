@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Coherence-protocol ablation: write-invalidate (the paper's Illinois
+ * protocol) vs. a Firefly-style write-update protocol.
+ *
+ * The paper's central obstacle — invalidation misses that no
+ * uniprocessor-style prefetcher can cover (§4.4) — is an artifact of
+ * write-invalidate coherence. Under write-update those misses vanish by
+ * construction... and are replaced by a broadcast on *every* write to
+ * shared data, which lands on exactly the resource this machine is
+ * short of: the bus. This bench quantifies that trade per workload, and
+ * shows how it changes what prefetching can do (with no invalidation
+ * misses, the oracle covers everything that remains).
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "prefetch/inserter.hh"
+#include "sim/simulator.hh"
+#include "stats/table.hh"
+
+using namespace prefsim;
+
+namespace
+{
+
+SimStats
+run(const ParallelTrace &trace, Strategy s, CoherenceProtocol proto,
+    Cycle transfer)
+{
+    const AnnotatedTrace ann =
+        annotateTrace(trace, s, CacheGeometry::paperDefault());
+    SimConfig cfg;
+    cfg.timing.dataTransfer = transfer;
+    cfg.protocol = proto;
+    return simulate(ann.trace, cfg);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    WorkloadParams params = parseBenchArgs(argc, argv);
+    Workbench bench(params);
+
+    std::cout << "=== Protocol ablation: write-invalidate (paper) vs "
+                 "write-update ===\n\n";
+
+    for (Cycle transfer : {4u, 32u}) {
+        std::cout << "--- T=" << transfer << " ---\n";
+        TextTable t({"workload", "inv: inval MR", "upd: inval MR",
+                     "inv: bus ops/1k refs", "upd: bus ops/1k refs",
+                     "upd/inv exec time", "upd PREF rel."});
+        for (WorkloadKind w : allWorkloads()) {
+            const ParallelTrace &base = bench.baseTrace(w);
+            const SimStats inv =
+                run(base, Strategy::NP, CoherenceProtocol::WriteInvalidate,
+                    transfer);
+            const SimStats upd =
+                run(base, Strategy::NP, CoherenceProtocol::WriteUpdate,
+                    transfer);
+            const SimStats upd_pref =
+                run(base, Strategy::PREF, CoherenceProtocol::WriteUpdate,
+                    transfer);
+            auto ops_per_kref = [](const SimStats &s) {
+                return TextTable::num(
+                    1000.0 * static_cast<double>(s.bus.totalOps()) /
+                        static_cast<double>(s.totalDemandRefs()),
+                    1);
+            };
+            t.addRow({workloadName(w),
+                      TextTable::percent(inv.invalidationMissRate(), 2),
+                      TextTable::percent(upd.invalidationMissRate(), 2),
+                      ops_per_kref(inv), ops_per_kref(upd),
+                      TextTable::num(static_cast<double>(upd.cycles) /
+                                     static_cast<double>(inv.cycles)),
+                      TextTable::num(
+                          static_cast<double>(upd_pref.cycles) /
+                          static_cast<double>(upd.cycles))});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout
+        << "reading the table: write-update removes every invalidation "
+           "miss (column 3 is zero) but pays a bus operation per write "
+           "to shared data; whether that wins depends on the "
+           "write-sharing style — and with no invalidation misses left, "
+           "the oracle prefetcher covers everything that remains "
+           "(final column).\n";
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared option parsing for the bench harness.
+ *
+ * Every reproduction binary accepts:
+ *   --refs N    demand references per processor (default 100000)
+ *   --procs N   processor count (default 16)
+ *   --seed N    workload RNG seed (default 12345)
+ *   --quiet     suppress informational logging
+ */
+
+#ifndef PREFSIM_BENCH_BENCH_COMMON_HH
+#define PREFSIM_BENCH_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "common/log.hh"
+#include "core/experiment.hh"
+#include "stats/table.hh"
+
+namespace prefsim
+{
+
+/** Strip a boolean flag (e.g. "--csv") from argv; true if present. */
+inline bool
+stripFlag(int &argc, char **argv, const std::string &flag)
+{
+    bool found = false;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (flag == argv[i]) {
+            found = true;
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    argc = w;
+    return found;
+}
+
+/** Parse the common bench options into WorkloadParams. */
+inline WorkloadParams
+parseBenchArgs(int argc, char **argv)
+{
+    WorkloadParams p = defaultWorkloadParams();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                prefsim_fatal("missing value for option ", arg);
+            return argv[++i];
+        };
+        if (arg == "--refs") {
+            p.refsPerProc = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--procs") {
+            p.numProcs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--seed") {
+            p.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--quiet") {
+            setQuiet(true);
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "options: --refs N --procs N --seed N --quiet\n";
+            std::exit(0);
+        } else {
+            prefsim_fatal("unknown option ", arg);
+        }
+    }
+    return p;
+}
+
+/** Format a measured/paper pair: "0.27 (paper 0.27)". */
+inline std::string
+withPaper(double measured, std::optional<double> reference, int prec = 2)
+{
+    std::string s = TextTable::num(measured, prec);
+    if (reference)
+        s += " (" + TextTable::num(*reference, prec) + ")";
+    return s;
+}
+
+} // namespace prefsim
+
+#endif // PREFSIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reproduces paper Figure 2: "Execution times (relative to no
+ * prefetching) for the five workloads and each prefetching strategy",
+ * plotted against data-bus transfer latency.
+ *
+ * Also prints the headline numbers of §1/§4.2: the best speedup and the
+ * worst degradation across the sweep, split into PWS vs the
+ * data-sharing-unaware strategies (paper: max 1.28 / min .94 without
+ * PWS; max 1.39 / min .95 with PWS).
+ *
+ * --csv emits the series for replotting.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "stats/csv.hh"
+#include "stats/table.hh"
+
+using namespace prefsim;
+
+int
+main(int argc, char **argv)
+{
+    bool csv = false;
+    // Strip --csv before the common parse.
+    std::vector<char *> args(argv, argv + argc);
+    for (auto it = args.begin(); it != args.end();) {
+        if (std::string(*it) == "--csv") {
+            csv = true;
+            it = args.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    const WorkloadParams params =
+        parseBenchArgs(static_cast<int>(args.size()), args.data());
+    Workbench bench(params);
+
+    std::cout << "=== Figure 2: execution time relative to NP ===\n\n";
+
+    double best_nonpws = 10.0, worst_nonpws = 0.0;
+    double best_pws = 10.0, worst_pws = 0.0;
+
+    CsvWriter writer(std::cout);
+    if (csv)
+        writer.row({"workload", "strategy", "transfer", "relative_time"});
+
+    for (WorkloadKind w : allWorkloads()) {
+        TextTable t({"strategy", "T=4", "T=8", "T=16", "T=32"});
+        for (Strategy s : allStrategies()) {
+            if (s == Strategy::NP)
+                continue;
+            std::vector<std::string> row = {strategyName(s)};
+            for (Cycle lat : paperTransferLatencies()) {
+                const double rel = bench.relativeExecTime(w, false, s, lat);
+                row.push_back(TextTable::num(rel));
+                if (csv) {
+                    writer.row({workloadName(w), strategyName(s),
+                                std::to_string(lat), TextTable::num(rel, 4)});
+                }
+                if (s == Strategy::PWS) {
+                    best_pws = std::min(best_pws, rel);
+                    worst_pws = std::max(worst_pws, rel);
+                } else {
+                    best_nonpws = std::min(best_nonpws, rel);
+                    worst_nonpws = std::max(worst_nonpws, rel);
+                }
+            }
+            t.addRow(std::move(row));
+        }
+        if (!csv) {
+            std::cout << "--- " << workloadName(w) << " ---\n";
+            t.print(std::cout);
+            std::cout << "\n";
+        }
+    }
+
+    std::cout << "headline: best/worst relative time without PWS = "
+              << TextTable::num(best_nonpws) << " / "
+              << TextTable::num(worst_nonpws)
+              << "  (paper: 1/1.28=0.78 best, 1/0.94=1.06 worst)\n"
+              << "          best/worst relative time with PWS    = "
+              << TextTable::num(best_pws) << " / "
+              << TextTable::num(worst_pws)
+              << "  (paper: 1/1.39=0.72 best, 1/0.95=1.05 worst)\n";
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Reproduces the paper's §4.2 reconciliation with Mowry & Gupta, who
+ * reported far larger multiprocessor prefetching speedups. The paper
+ * names three reasons; the two architectural ones are measurable here:
+ *
+ *   1. "they eliminated bus contention from their model by simulating
+ *      only one processor per cluster" — approximated by a 16-channel
+ *      (effectively contention-free) data interconnect;
+ *   2. "they began with much higher miss rates due to their choice of
+ *      simulated caches (for most simulations a 4 KB second-level
+ *      cache)... processor utilizations in the .11 to .19 range" —
+ *      approximated by shrinking the cache to 4 KB.
+ *
+ * Expectation: on the paper's machine prefetching gains are modest and
+ * die at saturation; removing contention lifts the ceiling, and the
+ * tiny cache adds miss headroom until speedups reach the >1.5x regime
+ * Mowry & Gupta reported.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "prefetch/inserter.hh"
+#include "sim/simulator.hh"
+#include "stats/table.hh"
+
+using namespace prefsim;
+
+namespace
+{
+
+struct Point
+{
+    double npUtil;
+    double prefSpeedup;
+    double pwsSpeedup;
+};
+
+Point
+measure(const ParallelTrace &base, const CacheGeometry &geom,
+        unsigned channels, Cycle transfer)
+{
+    SimConfig cfg;
+    cfg.geometry = geom;
+    cfg.timing.dataTransfer = transfer;
+    cfg.timing.dataChannels = channels;
+
+    const AnnotatedTrace np = annotateTrace(base, Strategy::NP, geom);
+    const SimStats s_np = simulate(np.trace, cfg);
+    const AnnotatedTrace pref = annotateTrace(base, Strategy::PREF, geom);
+    const SimStats s_pref = simulate(pref.trace, cfg);
+    const AnnotatedTrace pws = annotateTrace(base, Strategy::PWS, geom);
+    const SimStats s_pws = simulate(pws.trace, cfg);
+
+    return {s_np.avgProcUtilization(),
+            static_cast<double>(s_np.cycles) /
+                static_cast<double>(s_pref.cycles),
+            static_cast<double>(s_np.cycles) /
+                static_cast<double>(s_pws.cycles)};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    WorkloadParams params = parseBenchArgs(argc, argv);
+    Workbench bench(params);
+    const Cycle kTransfer = 16;
+
+    std::cout
+        << "=== 4.2 reconciliation with Mowry & Gupta (T=" << kTransfer
+        << ") ===\n"
+        << "machine A: the paper's (one contended data bus, 32 KB "
+           "caches)\n"
+        << "machine B: contention-free interconnect (16 data channels)\n"
+        << "machine C: contention-free + 4 KB caches (their miss-rate "
+           "regime)\n\n";
+
+    const CacheGeometry paper_cache = CacheGeometry::paperDefault();
+    const CacheGeometry tiny_cache(4 * 1024, 32, 1);
+
+    TextTable t({"workload", "A util/PREF/PWS", "B util/PREF/PWS",
+                 "C util/PREF/PWS"});
+    for (WorkloadKind w :
+         {WorkloadKind::Mp3d, WorkloadKind::Pverify,
+          WorkloadKind::LocusRoute}) {
+        const ParallelTrace &base = bench.baseTrace(w);
+        const Point a = measure(base, paper_cache, 1, kTransfer);
+        const Point b = measure(base, paper_cache, 16, kTransfer);
+        const Point c = measure(base, tiny_cache, 16, kTransfer);
+        auto cell = [](const Point &p) {
+            return TextTable::num(p.npUtil) + " / " +
+                   TextTable::num(p.prefSpeedup) + "x / " +
+                   TextTable::num(p.pwsSpeedup) + "x";
+        };
+        t.addRow({workloadName(w), cell(a), cell(b), cell(c)});
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nexpected: A shows the paper's modest, saturation-bound "
+           "gains; B lifts the contention ceiling; C starts from "
+           "utilizations near Mowry-Gupta's .11-.19 and prefetching "
+           "recovers multiples, matching their large reported "
+           "speedups. The contrast is the paper's whole point: the "
+           "benefit of prefetching is a property of the memory system, "
+           "not of prefetching.\n";
+    return 0;
+}

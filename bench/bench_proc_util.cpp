@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces the paper's §4.2 processor-utilisation analysis.
+ *
+ * Average per-processor utilisation before prefetching, at the fastest
+ * (4-cycle) and slowest (32-cycle) data bus. The paper uses these as
+ * upper bounds on any latency-hiding technique's speedup: Water at .82
+ * can gain at most ~1.2x, while Mp3d (.39 to .22) has room for 2.5-4.5x.
+ * Also reports NP CPU miss rates (the other calibration anchor) and the
+ * restructured variants' utilisation (§4.4: Topopt-R reaches .77-.80).
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "core/paper_reference.hh"
+#include "stats/table.hh"
+
+using namespace prefsim;
+
+int
+main(int argc, char **argv)
+{
+    const WorkloadParams params = parseBenchArgs(argc, argv);
+    Workbench bench(params);
+
+    std::cout << "=== Processor utilization before prefetching (4.2) "
+                 "(measured, paper value in parentheses) ===\n\n";
+
+    TextTable t({"workload", "util @T=4", "util @T=32", "cpu MR @T=4",
+                 "inval/cpu", "headroom (1/util)"});
+    for (WorkloadKind w : allWorkloads()) {
+        const auto ref = paper::procUtilization(w);
+        const auto &fast = bench.run(w, false, Strategy::NP, 4);
+        const auto &slow = bench.run(w, false, Strategy::NP, 32);
+        const auto misses = fast.sim.totalMisses();
+        const double inval_share =
+            misses.cpu() ? static_cast<double>(misses.invalidation()) /
+                               static_cast<double>(misses.cpu())
+                         : 0.0;
+        t.addRow({workloadName(w),
+                  withPaper(fast.sim.avgProcUtilization(), ref.fastBus),
+                  withPaper(slow.sim.avgProcUtilization(), ref.slowBus),
+                  TextTable::percent(fast.sim.cpuMissRate()),
+                  TextTable::percent(inval_share),
+                  TextTable::num(1.0 / fast.sim.avgProcUtilization(), 2)});
+    }
+    t.addRule();
+    for (WorkloadKind w : allWorkloads()) {
+        if (!hasRestructuredVariant(w))
+            continue;
+        const auto &fast = bench.run(w, true, Strategy::NP, 4);
+        const auto &slow = bench.run(w, true, Strategy::NP, 32);
+        const auto misses = fast.sim.totalMisses();
+        const double inval_share =
+            misses.cpu() ? static_cast<double>(misses.invalidation()) /
+                               static_cast<double>(misses.cpu())
+                         : 0.0;
+        std::optional<double> ref_fast, ref_slow;
+        if (w == WorkloadKind::Topopt) {
+            ref_fast = paper::procUtilizationRestructuredTopopt().fastBus;
+            ref_slow = paper::procUtilizationRestructuredTopopt().slowBus;
+        }
+        t.addRow({workloadName(w) + "-r",
+                  withPaper(fast.sim.avgProcUtilization(), ref_fast),
+                  withPaper(slow.sim.avgProcUtilization(), ref_slow),
+                  TextTable::percent(fast.sim.cpuMissRate()),
+                  TextTable::percent(inval_share),
+                  TextTable::num(1.0 / fast.sim.avgProcUtilization(), 2)});
+    }
+    t.print(std::cout);
+    return 0;
+}

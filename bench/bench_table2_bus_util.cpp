@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces paper Table 2: "Selected bus utilizations".
+ *
+ * Data-bus utilisation for every workload under every prefetching
+ * strategy across the data-transfer latency sweep {4, 8, 16, 32}.
+ * The paper's transcribed values are printed alongside for comparison.
+ *
+ * Expected shape: utilisation rises with prefetching for every workload
+ * and every latency (prefetching always increases bus demand), and the
+ * miss-heavy workloads (Mp3d, Pverify) saturate on slow buses.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "stats/csv.hh"
+#include "core/paper_reference.hh"
+#include "stats/table.hh"
+
+using namespace prefsim;
+
+int
+main(int argc, char **argv)
+{
+    const bool csv = stripFlag(argc, argv, "--csv");
+    const WorkloadParams params = parseBenchArgs(argc, argv);
+    Workbench bench(params);
+
+    if (csv) {
+        CsvWriter w(std::cout);
+        w.row({"workload", "strategy", "transfer", "bus_util",
+               "paper_bus_util"});
+        for (WorkloadKind wk : allWorkloads()) {
+            for (Strategy s : allStrategies()) {
+                for (Cycle lat : paperTransferLatencies()) {
+                    const auto &r = bench.run(wk, false, s, lat);
+                    const auto ref = paper::busUtilization(wk, s, lat);
+                    w.row({workloadName(wk), strategyName(s),
+                           std::to_string(lat),
+                           TextTable::num(r.sim.busUtilization(), 4),
+                           ref ? TextTable::num(*ref, 2) : ""});
+                }
+            }
+        }
+        return 0;
+    }
+
+    std::cout << "=== Table 2: data-bus utilization "
+                 "(measured, paper value in parentheses) ===\n\n";
+
+    TextTable t({"workload", "strategy", "T=4", "T=8", "T=16", "T=32"});
+    for (WorkloadKind w : allWorkloads()) {
+        for (Strategy s : allStrategies()) {
+            std::vector<std::string> row = {workloadName(w),
+                                            strategyName(s)};
+            for (Cycle lat : paperTransferLatencies()) {
+                const auto &r = bench.run(w, false, s, lat);
+                row.push_back(withPaper(r.sim.busUtilization(),
+                                        paper::busUtilization(w, s, lat)));
+            }
+            t.addRow(std::move(row));
+        }
+        t.addRule();
+    }
+    t.print(std::cout);
+    return 0;
+}

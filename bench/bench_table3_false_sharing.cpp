@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces paper Table 3: "Total Invalidation and False Sharing Miss
+ * Rates".
+ *
+ * Expected shape (§4.4): "for most of the benchmarks, over half of the
+ * invalidation misses could be attributed to false sharing."
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "stats/table.hh"
+
+using namespace prefsim;
+
+int
+main(int argc, char **argv)
+{
+    const WorkloadParams params = parseBenchArgs(argc, argv);
+    Workbench bench(params);
+    const Cycle kTransfer = 8;
+
+    std::cout << "=== Table 3: invalidation and false-sharing miss rates "
+                 "(NP, T=8) ===\n\n";
+
+    TextTable t({"workload", "total inval MR", "total FS MR",
+                 "FS / inval"});
+    for (WorkloadKind w : allWorkloads()) {
+        const auto &r = bench.run(w, false, Strategy::NP, kTransfer);
+        const double inval = r.sim.invalidationMissRate();
+        const double fs = r.sim.falseSharingMissRate();
+        t.addRow({workloadName(w), TextTable::percent(inval, 2),
+                  TextTable::percent(fs, 2),
+                  inval > 0 ? TextTable::percent(fs / inval, 0) : "-"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\npaper: over half of the invalidation misses are "
+                 "false sharing for most benchmarks; false sharing "
+                 "rises with larger blocks:\n";
+    TextTable b({"workload", "FS/inval 32B line", "FS/inval 64B line"});
+    for (WorkloadKind w : {WorkloadKind::Topopt, WorkloadKind::Pverify}) {
+        Workbench wide(params, CacheGeometry(32 * 1024, 64));
+        const auto &r32 = bench.run(w, false, Strategy::NP, kTransfer);
+        const auto &r64 = wide.run(w, false, Strategy::NP, kTransfer);
+        auto share = [](const ExperimentResult &r) {
+            const auto m = r.sim.totalMisses();
+            return m.invalidation()
+                       ? static_cast<double>(m.falseSharing) /
+                             static_cast<double>(m.invalidation())
+                       : 0.0;
+        };
+        b.addRow({workloadName(w), TextTable::percent(share(r32), 0),
+                  TextTable::percent(share(r64), 0)});
+    }
+    b.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces paper Table 5: "Relative Execution Times for Restructured
+ * Programs".
+ *
+ * Expected shape (§4.4): after restructuring, Topopt's cache behaviour
+ * is good enough that prefetching has little left to win; Pverify
+ * benefits more from prefetching (until the bus saturates), and plain
+ * PREF approaches the write-shared-tailored PWS for both programs.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "stats/table.hh"
+
+using namespace prefsim;
+
+int
+main(int argc, char **argv)
+{
+    const WorkloadParams params = parseBenchArgs(argc, argv);
+    Workbench bench(params);
+
+    std::cout << "=== Table 5: relative execution times, restructured "
+                 "programs ===\n(execution time relative to the "
+                 "restructured program's own NP run)\n\n";
+
+    for (WorkloadKind w : allWorkloads()) {
+        if (!hasRestructuredVariant(w))
+            continue;
+        std::cout << "--- " << workloadName(w) << "-r ---\n";
+        TextTable t({"strategy", "T=4", "T=8", "T=16", "T=32"});
+        for (Strategy s : allStrategies()) {
+            if (s == Strategy::NP)
+                continue;
+            std::vector<std::string> row = {strategyName(s)};
+            for (Cycle lat : paperTransferLatencies())
+                row.push_back(TextTable::num(
+                    bench.relativeExecTime(w, true, s, lat)));
+            t.addRow(std::move(row));
+        }
+        t.print(std::cout);
+
+        // Restructuring's own benefit (same strategy, layouts compared).
+        TextTable g({"metric", "T=4", "T=8", "T=16", "T=32"});
+        std::vector<std::string> row = {"restructured NP vs standard NP"};
+        for (Cycle lat : paperTransferLatencies()) {
+            const auto &std_r = bench.run(w, false, Strategy::NP, lat);
+            const auto &res_r = bench.run(w, true, Strategy::NP, lat);
+            row.push_back(
+                TextTable::num(static_cast<double>(res_r.sim.cycles) /
+                               static_cast<double>(std_r.sim.cycles)));
+        }
+        g.addRow(std::move(row));
+        g.print(std::cout);
+
+        // §4.4: PREF approaches PWS once false sharing is gone.
+        std::cout << "PREF/PWS gap at T=4: standard "
+                  << TextTable::num(
+                         bench.relativeExecTime(w, false, Strategy::PREF,
+                                                4) /
+                         bench.relativeExecTime(w, false, Strategy::PWS,
+                                                4),
+                         3)
+                  << ", restructured "
+                  << TextTable::num(
+                         bench.relativeExecTime(w, true, Strategy::PREF,
+                                                4) /
+                         bench.relativeExecTime(w, true, Strategy::PWS, 4),
+                         3)
+                  << " (1.0 = identical)\n\n";
+    }
+
+    // Restructured Topopt's §4.4 processor utilisation claim (.77-.80).
+    const auto &fast = bench.run(WorkloadKind::Topopt, true,
+                                 Strategy::NP, 4);
+    const auto &slow = bench.run(WorkloadKind::Topopt, true,
+                                 Strategy::NP, 32);
+    std::cout << "restructured topopt processor utilization: "
+              << TextTable::num(fast.sim.avgProcUtilization()) << " @T=4, "
+              << TextTable::num(slow.sim.avgProcUtilization())
+              << " @T=32 (paper: .80 / .77)\n";
+    return 0;
+}

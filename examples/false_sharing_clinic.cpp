@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Example: the false-sharing clinic (paper §4.4, Tables 3-5).
+ *
+ * Walks the paper's restructuring story end to end for Topopt and
+ * Pverify: measure the false-sharing content of the standard layout,
+ * apply the Jeremiassen-Eggers-style restructuring, and show that
+ * (a) invalidation misses collapse, (b) performance improves without
+ * any prefetching, and (c) once false sharing is gone, the plain
+ * uniprocessor-style prefetcher (PREF) approaches the write-shared
+ * specialist (PWS).
+ *
+ * Usage: false_sharing_clinic [topopt|pverify] [data-transfer]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "stats/table.hh"
+
+using namespace prefsim;
+
+int
+main(int argc, char **argv)
+{
+    const WorkloadKind kind =
+        argc > 1 ? workloadFromName(argv[1]) : WorkloadKind::Pverify;
+    const Cycle transfer =
+        argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
+    if (!hasRestructuredVariant(kind)) {
+        std::cerr << "no restructured variant for " << workloadName(kind)
+                  << " (the paper restructured topopt and pverify)\n";
+        return 1;
+    }
+
+    Workbench bench;
+    std::cout << "false-sharing clinic: " << workloadName(kind) << " @ T="
+              << transfer << "\n\n";
+
+    // Step 1: diagnose the standard layout.
+    const auto &std_np = bench.run(kind, false, Strategy::NP, transfer);
+    const auto std_m = std_np.sim.totalMisses();
+    std::cout << "step 1 - diagnose (NP, standard layout):\n"
+              << "  CPU miss rate            "
+              << TextTable::percent(std_np.sim.cpuMissRate()) << "\n"
+              << "  invalidation misses      "
+              << TextTable::percent(
+                     static_cast<double>(std_m.invalidation()) /
+                     static_cast<double>(std_m.cpu()))
+              << " of CPU misses\n"
+              << "  false sharing            "
+              << TextTable::percent(
+                     static_cast<double>(std_m.falseSharing) /
+                     static_cast<double>(std_m.invalidation()))
+              << " of invalidation misses\n\n";
+
+    // Step 2: restructure the shared data.
+    const auto &res_np = bench.run(kind, true, Strategy::NP, transfer);
+    const auto res_m = res_np.sim.totalMisses();
+    std::cout << "step 2 - restructure (group + pad per-processor "
+                 "data):\n";
+    TextTable t({"metric", "standard", "restructured"});
+    t.addRow({"invalidation MR",
+              TextTable::percent(std_np.sim.invalidationMissRate(), 2),
+              TextTable::percent(res_np.sim.invalidationMissRate(), 2)});
+    t.addRow({"false-sharing MR",
+              TextTable::percent(std_np.sim.falseSharingMissRate(), 2),
+              TextTable::percent(res_np.sim.falseSharingMissRate(), 2)});
+    t.addRow({"non-sharing MR",
+              TextTable::percent(
+                  static_cast<double>(std_m.nonSharing()) /
+                      static_cast<double>(std_np.sim.totalDemandRefs()),
+                  2),
+              TextTable::percent(
+                  static_cast<double>(res_m.nonSharing()) /
+                      static_cast<double>(res_np.sim.totalDemandRefs()),
+                  2)});
+    t.addRow({"execution cycles", TextTable::count(std_np.sim.cycles),
+              TextTable::count(res_np.sim.cycles)});
+    t.addRow({"processor utilization",
+              TextTable::num(std_np.sim.avgProcUtilization()),
+              TextTable::num(res_np.sim.avgProcUtilization())});
+    t.print(std::cout);
+
+    // Step 3: prefetching on top.
+    std::cout << "\nstep 3 - prefetch the restructured program:\n";
+    TextTable t2({"layout", "PREF rel. time", "PWS rel. time",
+                  "PREF/PWS gap"});
+    for (bool restructured : {false, true}) {
+        const double pref =
+            bench.relativeExecTime(kind, restructured, Strategy::PREF,
+                                   transfer);
+        const double pws = bench.relativeExecTime(kind, restructured,
+                                                  Strategy::PWS, transfer);
+        t2.addRow({restructured ? "restructured" : "standard",
+                   TextTable::num(pref), TextTable::num(pws),
+                   TextTable::num(pref / pws, 3)});
+    }
+    t2.print(std::cout);
+    std::cout << "\npaper: with false sharing gone, the simplest "
+                 "prefetching algorithm approaches the write-shared "
+                 "specialist (gap -> 1.0).\n";
+    return 0;
+}

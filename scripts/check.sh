@@ -1,0 +1,21 @@
+#!/bin/sh
+# Full verification pass: configure, build, test, and smoke every
+# reproduction binary at reduced size. Usage: scripts/check.sh [builddir]
+set -e
+BUILD=${1:-build}
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" -j "$(nproc)" --output-on-failure
+for b in "$BUILD"/bench/bench_*; do
+    name=$(basename "$b")
+    if [ "$name" = bench_micro_components ]; then
+        "$b" --benchmark_min_time=0.01s > /dev/null
+    else
+        "$b" --refs 20000 --procs 8 > /dev/null
+    fi
+    echo "ok: $name"
+done
+for e in quickstart false_sharing_clinic bus_saturation_study; do
+    "$BUILD"/examples/$e > /dev/null && echo "ok: $e"
+done
+echo "all checks passed"

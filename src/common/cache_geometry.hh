@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Cache geometry: the size/line/way arithmetic shared by the prefetch
+ * filter caches and the simulated multiprocessor data caches.
+ *
+ * The paper's configuration is a 32 KB direct-mapped cache with 32-byte
+ * lines; geometry is parameterised so the "several other
+ * configurations" the paper mentions (larger caches, larger lines) and
+ * the §4.3 suggestion of set associativity can be explored.
+ */
+
+#ifndef PREFSIM_COMMON_CACHE_GEOMETRY_HH
+#define PREFSIM_COMMON_CACHE_GEOMETRY_HH
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace prefsim
+{
+
+/** Size/line/way arithmetic for a set-associative cache. */
+class CacheGeometry
+{
+  public:
+    /**
+     * @param size_bytes Total capacity; power of two.
+     * @param line_bytes Line size; power of two, >= one word.
+     * @param ways Set associativity; power of two, 1 = direct-mapped.
+     */
+    CacheGeometry(std::uint32_t size_bytes, std::uint32_t line_bytes,
+                  std::uint32_t ways = 1)
+        : size_(size_bytes), line_(line_bytes), ways_(ways),
+          num_sets_(size_bytes / line_bytes / ways),
+          offset_bits_(floorLog2(line_bytes)),
+          index_mask_(num_sets_ - 1)
+    {
+        if (!isPowerOf2(size_bytes) || !isPowerOf2(line_bytes) ||
+            !isPowerOf2(ways))
+            prefsim_fatal(
+                "cache size, line size and ways must be powers of two");
+        if (line_bytes < kWordBytes || line_bytes > size_bytes)
+            prefsim_fatal("invalid cache line size ", line_bytes);
+        if (ways == 0 || ways * line_bytes > size_bytes)
+            prefsim_fatal("invalid associativity ", ways);
+    }
+
+    std::uint32_t sizeBytes() const { return size_; }
+    std::uint32_t lineBytes() const { return line_; }
+    std::uint32_t ways() const { return ways_; }
+    std::uint32_t numSets() const { return num_sets_; }
+    std::uint32_t wordsPerLine() const { return line_ / kWordBytes; }
+    std::uint32_t numFrames() const { return num_sets_ * ways_; }
+
+    /** Base address of the line containing @p addr. */
+    Addr lineBase(Addr addr) const { return addr & ~Addr{line_ - 1}; }
+
+    /** Set index of @p addr. */
+    std::uint32_t
+    setIndex(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(addr >> offset_bits_) &
+               index_mask_;
+    }
+
+    /** First frame index of @p addr's set (frames are way-contiguous). */
+    std::uint32_t
+    frameBase(Addr addr) const
+    {
+        return setIndex(addr) * ways_;
+    }
+
+    /** Tag of @p addr (the line base works as a full tag). */
+    Addr tag(Addr addr) const { return lineBase(addr); }
+
+    /** Word index of @p addr within its line. */
+    std::uint32_t
+    wordInLine(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(addr & (line_ - 1)) / kWordBytes;
+    }
+
+    bool
+    operator==(const CacheGeometry &o) const
+    {
+        return size_ == o.size_ && line_ == o.line_ && ways_ == o.ways_;
+    }
+
+    /** The paper's baseline configuration: 32 KB, 32 B lines, DM. */
+    static CacheGeometry
+    paperDefault()
+    {
+        return {32 * 1024, 32, 1};
+    }
+
+  private:
+    std::uint32_t size_;
+    std::uint32_t line_;
+    std::uint32_t ways_;
+    std::uint32_t num_sets_;
+    unsigned offset_bits_;
+    std::uint32_t index_mask_;
+};
+
+} // namespace prefsim
+
+#endif // PREFSIM_COMMON_CACHE_GEOMETRY_HH

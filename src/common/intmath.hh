@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small integer math helpers used by cache geometry and the bus model.
+ */
+
+#ifndef PREFSIM_COMMON_INTMATH_HH
+#define PREFSIM_COMMON_INTMATH_HH
+
+#include <cstdint>
+
+namespace prefsim
+{
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); @p v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+/** Ceiling division for unsigned operands. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p v up to the next multiple of @p align (align power of two). */
+constexpr std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Round @p v down to a multiple of @p align (align power of two). */
+constexpr std::uint64_t
+roundDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+} // namespace prefsim
+
+#endif // PREFSIM_COMMON_INTMATH_HH

@@ -1,0 +1,60 @@
+#include "common/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace prefsim
+{
+
+namespace
+{
+bool g_quiet = false;
+} // namespace
+
+void
+setQuiet(bool q)
+{
+    g_quiet = q;
+}
+
+bool
+quiet()
+{
+    return g_quiet;
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!g_quiet)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!g_quiet)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace prefsim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  — an internal invariant was violated: a prefsim bug. Aborts.
+ * fatal()  — the user asked for something impossible (bad configuration,
+ *            inconsistent parameters). Exits with status 1.
+ * warn()   — something works but is suspicious or approximated.
+ * inform() — plain status output.
+ */
+
+#ifndef PREFSIM_COMMON_LOG_HH
+#define PREFSIM_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace prefsim
+{
+
+namespace detail
+{
+
+/** Terminate after printing a panic message (simulator bug). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Terminate after printing a fatal message (user error). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stdout. */
+void informImpl(const std::string &msg);
+
+/** Fold a list of streamable values into one string. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** True once warnings have been suppressed (used by quiet bench runs). */
+void setQuiet(bool quiet);
+bool quiet();
+
+} // namespace prefsim
+
+#define prefsim_panic(...)                                                   \
+    ::prefsim::detail::panicImpl(__FILE__, __LINE__,                         \
+                                 ::prefsim::detail::format(__VA_ARGS__))
+
+#define prefsim_fatal(...)                                                   \
+    ::prefsim::detail::fatalImpl(__FILE__, __LINE__,                         \
+                                 ::prefsim::detail::format(__VA_ARGS__))
+
+#define prefsim_warn(...)                                                    \
+    ::prefsim::detail::warnImpl(::prefsim::detail::format(__VA_ARGS__))
+
+#define prefsim_inform(...)                                                  \
+    ::prefsim::detail::informImpl(::prefsim::detail::format(__VA_ARGS__))
+
+/** Invariant check that survives NDEBUG: panics with a message on failure. */
+#define prefsim_assert(cond, ...)                                            \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::prefsim::detail::panicImpl(                                    \
+                __FILE__, __LINE__,                                          \
+                ::prefsim::detail::format("assertion '" #cond "' failed: ",  \
+                                          ##__VA_ARGS__));                   \
+        }                                                                    \
+    } while (0)
+
+#endif // PREFSIM_COMMON_LOG_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * Every workload generator takes an explicit seed so that traces — and
+ * therefore whole experiments — are bit-reproducible across runs and
+ * machines. The generator is xoshiro256**, seeded through SplitMix64.
+ */
+
+#ifndef PREFSIM_COMMON_RNG_HH
+#define PREFSIM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace prefsim
+{
+
+/**
+ * xoshiro256** PRNG with convenience draws used by the trace generators.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) — bound must be non-zero. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p);
+
+    /**
+     * Approximately-geometric positive integer with the given mean
+     * (used for compute-burst lengths between memory references).
+     */
+    std::uint64_t geometric(double mean);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace prefsim
+
+#endif // PREFSIM_COMMON_RNG_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every prefsim library.
+ *
+ * The simulator models a 1993-era bus-based shared-memory multiprocessor
+ * (Sequent Symmetry class) at the granularity the paper uses: byte
+ * addresses, 32-byte cache lines, and CPU cycles.
+ */
+
+#ifndef PREFSIM_COMMON_TYPES_HH
+#define PREFSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace prefsim
+{
+
+/** Byte address in the simulated shared physical address space. */
+using Addr = std::uint64_t;
+
+/** Simulated CPU cycle count. */
+using Cycle = std::uint64_t;
+
+/** Processor identifier (0-based). */
+using ProcId = std::uint32_t;
+
+/** Lock / barrier identifier carried in synchronization trace records. */
+using SyncId = std::uint32_t;
+
+/** Sentinel for "no cycle" / "not scheduled". */
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for "no processor". */
+inline constexpr ProcId kNoProc = std::numeric_limits<ProcId>::max();
+
+/** Sentinel for "no address". */
+inline constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+/** Width of a machine word for false-sharing accounting (paper: per word). */
+inline constexpr unsigned kWordBytes = 4;
+
+} // namespace prefsim
+
+#endif // PREFSIM_COMMON_TYPES_HH

@@ -1,0 +1,147 @@
+#include "core/paper_reference.hh"
+
+#include <array>
+
+#include "common/log.hh"
+
+namespace prefsim
+{
+namespace paper
+{
+
+namespace
+{
+
+// Table 2, transcribed: rows are NP, PREF, EXCL, LPD, PWS; columns are
+// data-transfer latencies 4, 8, 16, 32.
+using StrategyRows = std::array<std::array<double, 4>, 5>;
+
+constexpr StrategyRows kTopopt = {{
+    {0.18, 0.27, 0.45, 0.76},
+    {0.22, 0.34, 0.56, 0.87},
+    {0.22, 0.34, 0.56, 0.86},
+    {0.23, 0.35, 0.59, 0.90},
+    {0.24, 0.36, 0.59, 0.88},
+}};
+
+constexpr StrategyRows kMp3d = {{
+    {0.48, 0.65, 0.90, 1.00},
+    {0.64, 0.83, 0.99, 1.00},
+    {0.64, 0.83, 0.99, 1.00},
+    {0.64, 0.84, 1.00, 1.00},
+    {0.71, 0.90, 1.00, 1.00},
+}};
+
+constexpr StrategyRows kLocus = {{
+    {0.21, 0.33, 0.56, 0.89},
+    {0.27, 0.42, 0.70, 0.97},
+    {0.27, 0.42, 0.70, 0.96},
+    {0.28, 0.43, 0.72, 0.98},
+    {0.28, 0.43, 0.71, 0.97},
+}};
+
+constexpr StrategyRows kPverify = {{
+    {0.42, 0.63, 0.92, 1.00},
+    {0.57, 0.81, 1.00, 1.00},
+    {0.57, 0.82, 0.99, 1.00},
+    {0.57, 0.83, 1.00, 1.00},
+    {0.65, 0.91, 1.00, 1.00},
+}};
+
+constexpr StrategyRows kWater = {{
+    {0.10, 0.14, 0.22, 0.38},
+    {0.11, 0.16, 0.25, 0.43},
+    {0.11, 0.16, 0.25, 0.43},
+    {0.11, 0.16, 0.26, 0.45},
+    {0.11, 0.16, 0.25, 0.43},
+}};
+
+const StrategyRows &
+rowsFor(WorkloadKind w)
+{
+    switch (w) {
+      case WorkloadKind::Topopt:
+        return kTopopt;
+      case WorkloadKind::Mp3d:
+        return kMp3d;
+      case WorkloadKind::LocusRoute:
+        return kLocus;
+      case WorkloadKind::Pverify:
+        return kPverify;
+      case WorkloadKind::Water:
+        return kWater;
+    }
+    prefsim_panic("unknown workload");
+}
+
+int
+strategyRow(Strategy s)
+{
+    switch (s) {
+      case Strategy::NP:
+        return 0;
+      case Strategy::PREF:
+        return 1;
+      case Strategy::EXCL:
+        return 2;
+      case Strategy::LPD:
+        return 3;
+      case Strategy::PWS:
+        return 4;
+    }
+    prefsim_panic("unknown strategy");
+}
+
+} // namespace
+
+std::optional<double>
+busUtilization(WorkloadKind workload, Strategy strategy, Cycle transfer)
+{
+    int col;
+    switch (transfer) {
+      case 4:
+        col = 0;
+        break;
+      case 8:
+        col = 1;
+        break;
+      case 16:
+        col = 2;
+        break;
+      case 32:
+        col = 3;
+        break;
+      default:
+        return std::nullopt;
+    }
+    return rowsFor(workload)[static_cast<std::size_t>(
+        strategyRow(strategy))][static_cast<std::size_t>(col)];
+}
+
+UtilRange
+procUtilization(WorkloadKind workload)
+{
+    // §4.2: utilisations before prefetching, fastest to slowest bus.
+    switch (workload) {
+      case WorkloadKind::Water:
+        return {0.82, 0.81};
+      case WorkloadKind::Mp3d:
+        return {0.39, 0.22};
+      case WorkloadKind::Topopt:
+        return {0.65, 0.59};
+      case WorkloadKind::LocusRoute:
+        return {0.64, 0.54};
+      case WorkloadKind::Pverify:
+        return {0.41, 0.18};
+    }
+    prefsim_panic("unknown workload");
+}
+
+UtilRange
+procUtilizationRestructuredTopopt()
+{
+    return {0.80, 0.77};
+}
+
+} // namespace paper
+} // namespace prefsim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Bus operation types and transactions.
+ *
+ * The paper's memory architecture (§3.3): a 100-cycle memory latency is
+ * split into a contention-free portion (address transmission + memory
+ * access, parallel across banks) and a contended data-bus transfer of
+ * 4-32 cycles. Every coherence action that reaches the interconnect is a
+ * Transaction; the SplitBus schedules them onto the contended resource.
+ */
+
+#ifndef PREFSIM_MEM_BUS_OP_HH
+#define PREFSIM_MEM_BUS_OP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace prefsim
+{
+
+/** Kind of bus operation. */
+enum class BusOpKind : std::uint8_t
+{
+    /** Fetch a line for reading; requester ends S (copies elsewhere) or
+     *  E (Illinois private-clean, no other copies). */
+    ReadShared,
+    /** Fetch a line with ownership (write miss / exclusive prefetch);
+     *  every other copy is invalidated. */
+    ReadExclusive,
+    /** Invalidate other copies of a line already held S (write hit on a
+     *  shared line); address-only, no data transfer. */
+    Upgrade,
+    /** Copy-back of a dirty victim; no CPU waits for it. */
+    WriteBack,
+    /** Word broadcast updating the other copies of a shared line
+     *  (write-update protocols only); address + one word. */
+    WriteUpdate,
+};
+
+/** Display name of @p kind. */
+std::string busOpName(BusOpKind kind);
+
+/** True if the operation moves a full cache line over the data bus. */
+constexpr bool
+transfersData(BusOpKind kind)
+{
+    return kind == BusOpKind::ReadShared || kind == BusOpKind::ReadExclusive;
+}
+
+/** One outstanding bus operation. */
+struct Transaction
+{
+    BusOpKind kind = BusOpKind::ReadShared;
+    ProcId requester = kNoProc;
+    /** Line base address. */
+    Addr lineBase = kNoAddr;
+    /** Word index (within the line) of the access that caused the
+     *  operation; used for false-sharing attribution of invalidations. */
+    std::uint32_t word = 0;
+    /** The operation was initiated by a prefetch instruction. */
+    bool isPrefetch = false;
+    /** A stalled CPU is waiting on this operation (demand misses, and
+     *  prefetches a later demand access attached itself to). Raises the
+     *  operation to demand arbitration priority. */
+    bool demandWaiting = false;
+    /** Cycle the request entered the memory system. */
+    Cycle issuedAt = 0;
+};
+
+} // namespace prefsim
+
+#endif // PREFSIM_MEM_BUS_OP_HH

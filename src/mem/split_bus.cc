@@ -1,0 +1,165 @@
+#include "mem/split_bus.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace prefsim
+{
+
+std::string
+busOpName(BusOpKind kind)
+{
+    switch (kind) {
+      case BusOpKind::ReadShared:
+        return "ReadShared";
+      case BusOpKind::ReadExclusive:
+        return "ReadExclusive";
+      case BusOpKind::Upgrade:
+        return "Upgrade";
+      case BusOpKind::WriteBack:
+        return "WriteBack";
+      case BusOpKind::WriteUpdate:
+        return "WriteUpdate";
+    }
+    prefsim_panic("unknown bus op kind");
+}
+
+SplitBus::SplitBus(const BusTiming &timing, unsigned num_procs)
+    : timing_(timing), num_procs_(num_procs)
+{
+    if (timing.dataTransfer == 0 || timing.dataTransfer > timing.totalLatency)
+        prefsim_fatal("data transfer latency must be in [1, totalLatency]");
+    if (timing.dataChannels == 0)
+        prefsim_fatal("the bus needs at least one data channel");
+    active_.reserve(timing.dataChannels);
+}
+
+std::uint64_t
+SplitBus::request(const Transaction &t, Cycle now)
+{
+    Pending p;
+    p.txn = t;
+    p.id = next_id_++;
+    ++stats_.opCount[static_cast<unsigned>(t.kind)];
+    if (BusTiming::isAddressClass(t.kind)) {
+        // Address-class operations ride the conflict-free address bus:
+        // fixed latency, never queued behind data transfers (3.3).
+        p.readyAt = now + timing_.upgradeOccupancy;
+        addr_ops_.push_back(p);
+        return p.id;
+    }
+    // Data-carrying operations pay the address + memory-access pipeline
+    // first; writebacks are ready immediately (data already buffered).
+    p.readyAt = transfersData(t.kind) ? now + timing_.memoryPhase() : now;
+    waiting_.push_back(p);
+    return p.id;
+}
+
+void
+SplitBus::promoteToDemand(std::uint64_t id)
+{
+    for (auto &p : waiting_) {
+        if (p.id == id) {
+            p.txn.demandWaiting = true;
+            return;
+        }
+    }
+    // Already in transfer (or completed): nothing to do — the access will
+    // be satisfied when the transfer finishes.
+    for (auto &a : active_) {
+        if (a.pending.id == id)
+            a.pending.txn.demandWaiting = true;
+    }
+}
+
+int
+SplitBus::pickNext(Cycle now)
+{
+    // Round-robin over processors starting at rr_next_, demand class
+    // first (paper: arbitration "favors blocking loads over prefetches").
+    int best = -1;
+    bool best_demand = false;
+    std::uint32_t best_rank = ~std::uint32_t{0};
+    for (std::size_t i = 0; i < waiting_.size(); ++i) {
+        const Pending &p = waiting_[i];
+        if (p.readyAt > now)
+            continue;
+        const bool demand = p.txn.demandWaiting || !p.txn.isPrefetch;
+        const std::uint32_t owner =
+            p.txn.requester == kNoProc ? 0 : p.txn.requester;
+        const std::uint32_t rank =
+            (owner + num_procs_ - rr_next_ % num_procs_) % num_procs_;
+        if (best < 0 || (demand && !best_demand) ||
+            (demand == best_demand && rank < best_rank)) {
+            best = static_cast<int>(i);
+            best_demand = demand;
+            best_rank = rank;
+        }
+    }
+    return best;
+}
+
+void
+SplitBus::tick(Cycle now)
+{
+    // Complete address-class operations whose fixed latency elapsed.
+    for (std::size_t i = 0; i < addr_ops_.size();) {
+        if (now >= addr_ops_[i].readyAt) {
+            const Transaction done = addr_ops_[i].txn;
+            addr_ops_.erase(addr_ops_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+            if (completion_)
+                completion_(done, now);
+        } else {
+            ++i;
+        }
+    }
+    // Finish transfers whose occupancy has elapsed.
+    for (std::size_t i = 0; i < active_.size();) {
+        if (now >= active_[i].endsAt) {
+            const Transaction done = active_[i].pending.txn;
+            active_.erase(active_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+            if (completion_)
+                completion_(done, now);
+        } else {
+            ++i;
+        }
+    }
+    // Grant free channels.
+    while (active_.size() < timing_.dataChannels) {
+        const int idx = pickNext(now);
+        if (idx < 0)
+            break;
+        Active a;
+        a.pending = waiting_[static_cast<std::size_t>(idx)];
+        waiting_.erase(waiting_.begin() + idx);
+        const Cycle occ = timing_.occupancy(a.pending.txn.kind);
+        a.endsAt = now + occ;
+        stats_.busyCycles += occ;
+        const Cycle wait = now - a.pending.readyAt;
+        const bool demand =
+            a.pending.txn.demandWaiting || !a.pending.txn.isPrefetch;
+        if (demand) {
+            stats_.queueWaitDemand += wait;
+            ++stats_.grantsDemand;
+        } else {
+            stats_.queueWaitPrefetch += wait;
+            ++stats_.grantsPrefetch;
+        }
+        rr_next_ = (a.pending.txn.requester == kNoProc
+                        ? rr_next_
+                        : a.pending.txn.requester + 1) %
+                   std::max(1u, num_procs_);
+        active_.push_back(a);
+    }
+}
+
+bool
+SplitBus::busy() const
+{
+    return !active_.empty() || !waiting_.empty() || !addr_ops_.empty();
+}
+
+} // namespace prefsim

@@ -1,0 +1,45 @@
+#include "prefetch/assoc_filter.hh"
+
+#include "common/log.hh"
+
+namespace prefsim
+{
+
+AssocFilter::AssocFilter(const CacheGeometry &geom, unsigned num_lines)
+    : geom_(geom), num_lines_(num_lines)
+{
+    prefsim_assert(num_lines_ > 0, "associative filter needs >= 1 line");
+}
+
+bool
+AssocFilter::access(Addr addr)
+{
+    const Addr tag = geom_.lineBase(addr);
+    auto it = map_.find(tag);
+    if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return false;
+    }
+    if (map_.size() >= num_lines_) {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    lru_.push_front(tag);
+    map_[tag] = lru_.begin();
+    return true;
+}
+
+bool
+AssocFilter::resident(Addr addr) const
+{
+    return map_.count(geom_.lineBase(addr)) != 0;
+}
+
+void
+AssocFilter::reset()
+{
+    lru_.clear();
+    map_.clear();
+}
+
+} // namespace prefsim

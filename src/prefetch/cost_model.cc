@@ -1,0 +1,19 @@
+#include "prefetch/cost_model.hh"
+
+namespace prefsim
+{
+
+std::vector<Cycle>
+estimatedStartCycles(const Trace &trace)
+{
+    std::vector<Cycle> start(trace.size() + 1, 0);
+    Cycle c = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        start[i] = c;
+        c += recordCost(trace[i]);
+    }
+    start[trace.size()] = c;
+    return start;
+}
+
+} // namespace prefsim

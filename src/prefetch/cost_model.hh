@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Estimated-cycle cost model for prefetch scheduling.
+ *
+ * The insertion pass places a prefetch "prefetch distance" CPU cycles
+ * ahead of the access it covers (§3.1). Distances are measured with the
+ * paper's best-case timing: one cycle per instruction plus one cycle per
+ * data access, assuming every access hits. Stall time, bus contention and
+ * the cycles of the inserted prefetch instructions themselves are not
+ * knowable off-line and are deliberately excluded — that gap between
+ * estimated and real latency is exactly what the LPD experiment probes.
+ */
+
+#ifndef PREFSIM_PREFETCH_COST_MODEL_HH
+#define PREFSIM_PREFETCH_COST_MODEL_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/trace.hh"
+
+namespace prefsim
+{
+
+/** Best-case CPU cycles consumed by @p rec. */
+constexpr Cycle
+recordCost(const TraceRecord &rec)
+{
+    switch (rec.kind) {
+      case RecordKind::Instr:
+        return rec.count;
+      case RecordKind::Read:
+      case RecordKind::Write:
+        return 2; // the instruction plus the (assumed-hit) data access
+      case RecordKind::Prefetch:
+      case RecordKind::PrefetchExcl:
+        return 2; // "a single instruction and the prefetch access
+                  // itself" (3.1); the fill is asynchronous
+      case RecordKind::LockAcquire:
+      case RecordKind::LockRelease:
+      case RecordKind::Barrier:
+        return 1; // best case: uncontended
+    }
+    return 0;
+}
+
+/**
+ * Prefix sums of estimated cycles: result[i] is the estimated start cycle
+ * of record i; result[size()] is the estimated total.
+ */
+std::vector<Cycle> estimatedStartCycles(const Trace &trace);
+
+} // namespace prefsim
+
+#endif // PREFSIM_PREFETCH_COST_MODEL_HH

@@ -1,0 +1,59 @@
+#include "prefetch/filter_cache.hh"
+
+namespace prefsim
+{
+
+FilterCache::FilterCache(const CacheGeometry &geom)
+    : geom_(geom), tags_(geom.numFrames(), kNoAddr),
+      last_use_(geom.numFrames(), 0)
+{}
+
+bool
+FilterCache::access(Addr addr)
+{
+    const Addr tag = geom_.tag(addr);
+    const std::uint32_t base = geom_.frameBase(addr);
+    std::uint32_t victim = 0;
+    std::uint64_t victim_use = ~std::uint64_t{0};
+    for (std::uint32_t w = 0; w < geom_.ways(); ++w) {
+        if (tags_[base + w] == tag) {
+            last_use_[base + w] = ++use_clock_;
+            return false;
+        }
+        if (tags_[base + w] == kNoAddr) {
+            // Free frame: preferred victim; keep scanning for a match.
+            if (victim_use != 0) {
+                victim = w;
+                victim_use = 0;
+            }
+        } else if (last_use_[base + w] < victim_use) {
+            victim = w;
+            victim_use = last_use_[base + w];
+        }
+    }
+    tags_[base + victim] = tag;
+    last_use_[base + victim] = ++use_clock_;
+    return true;
+}
+
+bool
+FilterCache::resident(Addr addr) const
+{
+    const Addr tag = geom_.tag(addr);
+    const std::uint32_t base = geom_.frameBase(addr);
+    for (std::uint32_t w = 0; w < geom_.ways(); ++w) {
+        if (tags_[base + w] == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+FilterCache::reset()
+{
+    tags_.assign(tags_.size(), kNoAddr);
+    last_use_.assign(last_use_.size(), 0);
+    use_clock_ = 0;
+}
+
+} // namespace prefsim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Uniprocessor direct-mapped filter cache.
+ *
+ * The paper's "oracle" prefetcher identifies candidates by running each
+ * processor's address stream through a uniprocessor cache filter of the
+ * same geometry as the real cache and marking the data misses (§3.1).
+ * The filter sees no coherence activity, so it predicts exactly the
+ * non-sharing misses: first uses, capacity and conflict misses.
+ */
+
+#ifndef PREFSIM_PREFETCH_FILTER_CACHE_HH
+#define PREFSIM_PREFETCH_FILTER_CACHE_HH
+
+#include <vector>
+
+#include "common/cache_geometry.hh"
+#include "common/types.hh"
+
+namespace prefsim
+{
+
+/** Tag-only set-associative (LRU) cache used as a miss predictor. */
+class FilterCache
+{
+  public:
+    explicit FilterCache(const CacheGeometry &geom);
+
+    /**
+     * Access @p addr, installing its line.
+     * @return true if the access missed (line was not resident).
+     */
+    bool access(Addr addr);
+
+    /** Query residency without installing or touching LRU state. */
+    bool resident(Addr addr) const;
+
+    /** Drop all contents. */
+    void reset();
+
+    const CacheGeometry &geometry() const { return geom_; }
+
+  private:
+    CacheGeometry geom_;
+    std::vector<Addr> tags_; ///< kNoAddr marks an empty frame.
+    std::vector<std::uint64_t> last_use_;
+    std::uint64_t use_clock_ = 0;
+};
+
+} // namespace prefsim
+
+#endif // PREFSIM_PREFETCH_FILTER_CACHE_HH

@@ -1,0 +1,69 @@
+#include "prefetch/strategy.hh"
+
+#include "common/log.hh"
+
+namespace prefsim
+{
+
+const std::vector<Strategy> &
+allStrategies()
+{
+    static const std::vector<Strategy> all = {
+        Strategy::NP, Strategy::PREF, Strategy::EXCL, Strategy::LPD,
+        Strategy::PWS};
+    return all;
+}
+
+std::string
+strategyName(Strategy s)
+{
+    switch (s) {
+      case Strategy::NP:
+        return "NP";
+      case Strategy::PREF:
+        return "PREF";
+      case Strategy::EXCL:
+        return "EXCL";
+      case Strategy::LPD:
+        return "LPD";
+      case Strategy::PWS:
+        return "PWS";
+    }
+    prefsim_panic("unknown strategy");
+}
+
+Strategy
+strategyFromName(const std::string &name)
+{
+    for (auto s : allStrategies()) {
+        if (strategyName(s) == name)
+            return s;
+    }
+    prefsim_fatal("unknown strategy name '", name,
+                  "' (expected NP, PREF, EXCL, LPD or PWS)");
+}
+
+StrategyParams
+strategyParams(Strategy s)
+{
+    StrategyParams p;
+    switch (s) {
+      case Strategy::NP:
+        p.enabled = false;
+        break;
+      case Strategy::PREF:
+        break;
+      case Strategy::EXCL:
+        p.exclusiveWrites = true;
+        break;
+      case Strategy::LPD:
+        p.distanceCycles = 400;
+        break;
+      case Strategy::PWS:
+        p.prefetchWriteShared = true;
+        break;
+    }
+    return p;
+}
+
+} // namespace prefsim

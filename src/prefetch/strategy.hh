@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The paper's five prefetching strategies (§4.1).
+ */
+
+#ifndef PREFSIM_PREFETCH_STRATEGY_HH
+#define PREFSIM_PREFETCH_STRATEGY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prefsim
+{
+
+/**
+ * Prefetching discipline applied to a workload trace.
+ *
+ * Each strategy differs from PREF in exactly one characteristic,
+ * mirroring the paper's experimental design.
+ */
+enum class Strategy
+{
+    NP,   ///< No prefetching (the baseline all results are relative to).
+    PREF, ///< Oracle filter-cache prefetching, distance 100, shared mode.
+    EXCL, ///< PREF, but predicted write misses prefetch in exclusive mode.
+    LPD,  ///< PREF with a long prefetch distance (400 cycles).
+    PWS   ///< PREF plus aggressive redundant prefetching of write-shared
+          ///< lines selected by a 16-line temporal-locality filter.
+};
+
+/** All strategies in the paper's presentation order. */
+const std::vector<Strategy> &allStrategies();
+
+/** Upper-case display name ("NP", "PREF", ...). */
+std::string strategyName(Strategy s);
+
+/** Parse a strategy name; fatal() on unknown names. */
+Strategy strategyFromName(const std::string &name);
+
+/**
+ * Tunable parameters backing a Strategy.
+ *
+ * strategyParams() produces the paper's values; custom combinations
+ * (e.g., EXCL at distance 400) can be built directly for ablations.
+ */
+struct StrategyParams
+{
+    /** Insert any prefetches at all (false = NP). */
+    bool enabled = true;
+    /** Prefetch distance in estimated CPU cycles. */
+    std::uint32_t distanceCycles = 100;
+    /** Prefetch predicted write misses in exclusive mode. */
+    bool exclusiveWrites = false;
+    /**
+     * The compiler improvement the paper suggests in §4.3: when a
+     * predicted read miss is followed shortly by a write to the same
+     * line, prefetch exclusively — "the one instance where exclusive
+     * prefetching would actually require fewer bus operations than no
+     * prefetching" (it saves the later upgrade).
+     */
+    bool exclusiveReadThenWrite = false;
+    /** How soon (estimated cycles) the write must follow the read for
+     *  the read-then-write detector to fire. */
+    std::uint32_t rtwWindowCycles = 200;
+    /** Add PWS redundant prefetches for write-shared lines. */
+    bool prefetchWriteShared = false;
+    /** Lines in the PWS temporal-locality filter. */
+    unsigned pwsFilterLines = 16;
+    /**
+     * Do not hoist prefetches across synchronisation records. A real
+     * compiler cannot move a prefetch above a barrier or lock
+     * acquisition (the data may not be produced yet); the oracle pass
+     * defaults to the paper's trace-level freedom, but this flag
+     * restores the compiler constraint for ablations.
+     */
+    bool dontCrossSync = false;
+    /**
+     * Restrict prefetching to provably unshared lines. Models
+     * prefetching into a non-snooping prefetch buffer (§3.1), where
+     * shared data cannot legally be prefetched at all.
+     */
+    bool privateLinesOnly = false;
+};
+
+/** The paper's parameterisation of @p s. */
+StrategyParams strategyParams(Strategy s);
+
+} // namespace prefsim
+
+#endif // PREFSIM_PREFETCH_STRATEGY_HH

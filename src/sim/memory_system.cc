@@ -1,0 +1,452 @@
+#include "sim/memory_system.hh"
+
+#include "common/log.hh"
+
+namespace prefsim
+{
+
+MemorySystem::MemorySystem(unsigned num_procs, const CacheGeometry &geom,
+                           const BusTiming &timing,
+                           unsigned prefetch_buffer_depth,
+                           std::vector<ProcStats> &proc_stats,
+                           unsigned victim_entries,
+                           unsigned prefetch_data_buffer_entries,
+                           CoherenceProtocol protocol)
+    : geom_(geom), bus_(timing, num_procs),
+      pdb_entries_(prefetch_data_buffer_entries), protocol_(protocol),
+      stats_(proc_stats), pending_upgrade_(num_procs, kNoAddr)
+{
+    prefsim_assert(proc_stats.size() == num_procs,
+                   "proc stats size mismatch");
+    caches_.reserve(num_procs);
+    for (ProcId p = 0; p < num_procs; ++p) {
+        caches_.push_back(std::make_unique<DataCache>(
+            p, geom, prefetch_buffer_depth, victim_entries));
+        if (pdb_entries_ > 0)
+            caches_.back()->configurePrefetchDataBuffer(pdb_entries_);
+    }
+    bus_.setCompletion(
+        [this](const Transaction &t, Cycle now) { onBusComplete(t, now); });
+}
+
+MemorySystem::SnoopSummary
+MemorySystem::probeOthers(ProcId requester, Addr line_base) const
+{
+    SnoopSummary s;
+    for (ProcId p = 0; p < caches_.size(); ++p) {
+        if (p == requester)
+            continue;
+        const DataCache &c = *caches_[p];
+        if (isValid(c.stateAnywhere(line_base))) {
+            s.anyCopy = true;
+            break;
+        }
+        const Mshr *m = c.findMshr(line_base);
+        if (m && !m->arriveInvalid) {
+            s.anyCopy = true;
+            break;
+        }
+    }
+    return s;
+}
+
+void
+MemorySystem::downgradeOthers(ProcId requester, Addr line_base)
+{
+    for (ProcId p = 0; p < caches_.size(); ++p) {
+        if (p == requester)
+            continue;
+        DataCache &c = *caches_[p];
+        if (CacheFrame *f = c.findAny(line_base)) {
+            if (isValid(f->state)) {
+                // Illinois: an M owner flushes while supplying the line;
+                // the transfer itself is the requester's bus operation.
+                f->state = LineState::Shared;
+            }
+        }
+        if (CacheFrame *parked = c.findParked(line_base)) {
+            // A non-snooping buffer would not see this downgrade; count
+            // the hazard and neutralise the entry to keep the simulated
+            // machine coherent.
+            parked->state = LineState::Shared;
+            ++stats_[p].bufferProtectionEvents;
+        }
+        Mshr *m = c.findMshr(line_base);
+        if (m && !m->arriveInvalid &&
+            m->targetState != LineState::Shared) {
+            // An in-flight private fill loses exclusivity; a fill headed
+            // for Modified retries its write through the upgrade path.
+            m->targetState = LineState::Shared;
+        }
+    }
+}
+
+void
+MemorySystem::invalidateOthers(ProcId requester, Addr line_base,
+                               std::uint32_t word)
+{
+    for (ProcId p = 0; p < caches_.size(); ++p) {
+        if (p == requester)
+            continue;
+        DataCache &c = *caches_[p];
+        if (CacheFrame *f = c.findAny(line_base)) {
+            if (isValid(f->state)) {
+                // False sharing: the invalidating write targets a word
+                // this processor never touched in the residency (§4.4).
+                f->invalFalseSharing = (f->accessMask >> word & 1u) == 0;
+                if (f->broughtByPrefetch && !f->usedSinceFill)
+                    c.markPrefetchLost(line_base);
+                f->state = LineState::Invalid;
+            }
+        }
+        if (CacheFrame *parked = c.findParked(line_base)) {
+            // A non-snooping buffer would have served this stale line;
+            // count the hazard and kill the entry (see 3.1).
+            parked->state = LineState::Invalid;
+            c.markPrefetchLost(line_base);
+            ++stats_[p].bufferProtectionEvents;
+        }
+        Mshr *m = c.findMshr(line_base);
+        if (m && !m->arriveInvalid) {
+            m->arriveInvalid = true;
+            // No word of the in-flight line has been accessed yet; the
+            // only local interest we know of is a blocked demand access
+            // to demandWord.
+            m->invalFalseSharing =
+                !(m->demandWaiting && m->demandWord == word);
+        }
+    }
+}
+
+AccessResult
+MemorySystem::demandAccess(ProcId proc, Addr addr, bool is_write, Cycle now)
+{
+    DataCache &c = *caches_[proc];
+    const Addr base = geom_.lineBase(addr);
+    const std::uint32_t word = geom_.wordInLine(addr);
+
+    // The hit path, shared by genuine hits and victim-buffer swaps.
+    auto complete_hit = [&](CacheFrame &f) -> AccessResult {
+        f.accessMask |= 1u << word;
+        f.usedSinceFill = true;
+        c.touch(addr);
+        if (c.prefetchLostEntries())
+            c.consumePrefetchLost(base); // Stale marker: satisfied.
+        if (!is_write || f.state == LineState::Modified)
+            return AccessResult::Hit;
+        if (f.state == LineState::Exclusive) {
+            // Illinois private-clean: silent upgrade.
+            f.state = LineState::Modified;
+            return AccessResult::Hit;
+        }
+        // Write hit on Shared. Write-invalidate kills the other
+        // copies with an address-only upgrade; write-update broadcasts
+        // the word and every copy stays valid (no future invalidation
+        // miss — and no silence either: every such write is a bus op).
+        Transaction t;
+        t.requester = proc;
+        t.lineBase = base;
+        t.word = word;
+        t.demandWaiting = true;
+        t.issuedAt = now;
+        if (protocol_ == CoherenceProtocol::WriteInvalidate) {
+            t.kind = BusOpKind::Upgrade;
+            invalidateOthers(proc, base, word);
+        } else {
+            t.kind = BusOpKind::WriteUpdate;
+            // Receivers keep their copies; memory is updated by the
+            // broadcast, so the line stays clean-shared everywhere.
+        }
+        bus_.request(t, now);
+        ++stats_[proc].upgradesIssued;
+        prefsim_assert(pending_upgrade_[proc] == kNoAddr,
+                       "overlapping upgrades on proc ", proc);
+        pending_upgrade_[proc] = base;
+        return AccessResult::UpgradeWait;
+    };
+
+    if (CacheFrame *f = c.findFrame(addr); f && isValid(f->state))
+        return complete_hit(*f);
+
+    if (Mshr *m = c.findMshr(addr)) {
+        // Prefetch (or, after an in-flight invalidation, a refetch)
+        // still in progress: wait for the residual latency only.
+        prefsim_assert(m->isPrefetch || m->arriveInvalid || m->demandWaiting,
+                       "demand access found foreign demand MSHR");
+        if (!m->demandWaiting) {
+            ++stats_[proc].misses.prefetchInProgress;
+            m->demandWaiting = true;
+            m->demandWord = word;
+            bus_.promoteToDemand(m->busId);
+        }
+        return AccessResult::InProgressWait;
+    }
+
+    // Victim-buffer probe: a conflict evictee swaps back for a one-cycle
+    // penalty instead of a bus transaction (§4.3's suggestion).
+    if (c.victimEntries() > 0) {
+        if (CacheFrame *f = c.swapFromVictim(addr)) {
+            ++stats_[proc].victimHits;
+            const AccessResult res = complete_hit(*f);
+            // The swap penalty replaces the plain-hit timing; upgrades
+            // already stall for far longer.
+            return res == AccessResult::Hit ? AccessResult::VictimHit
+                                            : res;
+        }
+    }
+
+    // Prefetch-data-buffer probe: a parked prefetched line promotes
+    // into the cache for a one-cycle penalty (buffer-target mode).
+    if (pdb_entries_ > 0) {
+        EvictedLine evicted;
+        if (CacheFrame *f = c.promoteParked(addr, evicted)) {
+            ++stats_[proc].prefetchBufferHits;
+            if (evicted.dirty) {
+                Transaction wb;
+                wb.kind = BusOpKind::WriteBack;
+                wb.requester = proc;
+                wb.lineBase = evicted.lineBase;
+                wb.issuedAt = now;
+                bus_.request(wb, now);
+            }
+            const AccessResult res = complete_hit(*f);
+            return res == AccessResult::Hit ? AccessResult::VictimHit
+                                            : res;
+        }
+    }
+
+    // A real CPU miss: classify it against the tag-matching frame —
+    // which, with a victim buffer, may be an invalidated buffer entry.
+    const bool lost = c.consumePrefetchLost(base);
+    const CacheFrame *matching = c.findFrame(addr);
+    if (matching == nullptr)
+        matching = c.findVictim(addr);
+    classifyMiss(proc, matching, base, lost);
+
+    const SnoopSummary snoop = probeOthers(proc, base);
+    Transaction t;
+    t.requester = proc;
+    t.lineBase = base;
+    t.word = word;
+    t.demandWaiting = true;
+    t.issuedAt = now;
+    LineState target;
+    if (is_write && protocol_ == CoherenceProtocol::WriteInvalidate) {
+        t.kind = BusOpKind::ReadExclusive;
+        target = LineState::Modified;
+        invalidateOthers(proc, base, word);
+    } else if (is_write) {
+        // Write-update: fetch the line shared; the retried write then
+        // upgrades silently (alone) or broadcasts an update (shared).
+        t.kind = BusOpKind::ReadShared;
+        target = snoop.anyCopy ? LineState::Shared : LineState::Modified;
+        downgradeOthers(proc, base);
+    } else {
+        t.kind = BusOpKind::ReadShared;
+        target = snoop.anyCopy ? LineState::Shared : LineState::Exclusive;
+        downgradeOthers(proc, base);
+    }
+    Mshr &m = c.allocateMshr(base, target, /*is_prefetch=*/false);
+    m.demandWaiting = true;
+    m.demandWord = word;
+    m.busId = bus_.request(t, now);
+    return AccessResult::MissWait;
+}
+
+PrefetchResult
+MemorySystem::prefetchAccess(ProcId proc, Addr addr, bool exclusive,
+                             Cycle now)
+{
+    DataCache &c = *caches_[proc];
+    const Addr base = geom_.lineBase(addr);
+
+    // "If the prefetch hits in the cache, no bus operation is initiated,
+    // even if the cache line is in the shared state" (§4.1).
+    if (c.resident(addr)) {
+        ++stats_[proc].prefetchesDroppedResident;
+        return PrefetchResult::DroppedResident;
+    }
+    if (c.findMshr(addr)) {
+        ++stats_[proc].prefetchesDroppedDuplicate;
+        return PrefetchResult::DroppedDuplicate;
+    }
+    // A victim-buffer occupant satisfies the prefetch by swapping back.
+    if (c.victimEntries() > 0 && c.swapFromVictim(addr)) {
+        ++stats_[proc].prefetchesDroppedResident;
+        return PrefetchResult::DroppedResident;
+    }
+    // Already parked in the prefetch data buffer: nothing to do.
+    if (pdb_entries_ > 0 && c.findParked(addr) != nullptr) {
+        ++stats_[proc].prefetchesDroppedResident;
+        return PrefetchResult::DroppedResident;
+    }
+    if (!c.prefetchMshrAvailable())
+        return PrefetchResult::BufferFull;
+
+    const std::uint32_t word = geom_.wordInLine(addr);
+    const SnoopSummary snoop = probeOthers(proc, base);
+    Transaction t;
+    t.requester = proc;
+    t.lineBase = base;
+    t.word = word;
+    t.isPrefetch = true;
+    t.issuedAt = now;
+    LineState target;
+    if (exclusive && protocol_ == CoherenceProtocol::WriteInvalidate) {
+        // Exclusive prefetch: read-for-ownership, installing in the
+        // Illinois private-clean state (§3.3).
+        t.kind = BusOpKind::ReadExclusive;
+        target = LineState::Exclusive;
+        invalidateOthers(proc, base, word);
+    } else {
+        t.kind = BusOpKind::ReadShared;
+        target = snoop.anyCopy ? LineState::Shared : LineState::Exclusive;
+        downgradeOthers(proc, base);
+    }
+    Mshr &m = c.allocateMshr(base, target, /*is_prefetch=*/true);
+    m.busId = bus_.request(t, now);
+    ++stats_[proc].prefetchMisses;
+    return PrefetchResult::Issued;
+}
+
+void
+MemorySystem::classifyMiss(ProcId proc, const CacheFrame *frame,
+                           Addr line_base, bool prefetched_lost)
+{
+    MissBreakdown &m = stats_[proc].misses;
+    const bool invalidation =
+        frame != nullptr && frame->tag == line_base &&
+        frame->state == LineState::Invalid;
+    if (miss_observer_)
+        miss_observer_(proc, line_base, invalidation);
+    if (invalidation) {
+        if (frame->invalFalseSharing)
+            ++m.falseSharing;
+        if (prefetched_lost)
+            ++m.invalPrefetched;
+        else
+            ++m.invalNotPrefetched;
+    } else {
+        if (prefetched_lost)
+            ++m.nonSharingPrefetched;
+        else
+            ++m.nonSharingNotPrefetched;
+    }
+}
+
+void
+MemorySystem::onBusComplete(const Transaction &txn, Cycle now)
+{
+    switch (txn.kind) {
+      case BusOpKind::WriteBack:
+        return; // Fire-and-forget.
+      case BusOpKind::WriteUpdate: {
+        // The broadcast is serialised; the write is done. All copies
+        // (including ours) remain valid and clean-shared.
+        prefsim_assert(pending_upgrade_[txn.requester] == txn.lineBase,
+                       "update completion mismatch");
+        pending_upgrade_[txn.requester] = kNoAddr;
+        if (wake_)
+            wake_(txn.requester, /*retry=*/false);
+        return;
+      }
+      case BusOpKind::Upgrade: {
+        DataCache &c = *caches_[txn.requester];
+        prefsim_assert(pending_upgrade_[txn.requester] == txn.lineBase,
+                       "upgrade completion mismatch");
+        pending_upgrade_[txn.requester] = kNoAddr;
+        CacheFrame *f = c.findFrame(txn.lineBase);
+        if (f && f->state == LineState::Shared) {
+            // The write is ordered at the upgrade's request time. If a
+            // remote read slipped in since (it saw our copy and took
+            // Shared), the written line was flushed and stays Shared;
+            // otherwise we own it dirty.
+            f->state = probeOthers(txn.requester, txn.lineBase).anyCopy
+                           ? LineState::Shared
+                           : LineState::Modified;
+            if (wake_)
+                wake_(txn.requester, /*retry=*/false);
+            return;
+        }
+        // The line was invalidated while the upgrade was queued: the
+        // write retries and takes the miss path (an invalidation miss).
+        if (wake_)
+            wake_(txn.requester, /*retry=*/true);
+        return;
+      }
+      case BusOpKind::ReadShared:
+      case BusOpKind::ReadExclusive: {
+        DataCache &c = *caches_[txn.requester];
+        const Mshr m = c.releaseMshr(txn.lineBase);
+        if (pdb_entries_ > 0 && m.isPrefetch && !m.demandWaiting) {
+            // Buffer-target mode: the prefetched line parks beside the
+            // cache instead of filling it (3.1). Dead arrivals are
+            // simply wasted.
+            if (m.arriveInvalid)
+                c.markPrefetchLost(txn.lineBase);
+            else
+                c.parkPrefetchedLine(txn.lineBase, m.targetState);
+            return;
+        }
+        EvictedLine evicted;
+        const LineState install_state =
+            m.arriveInvalid ? LineState::Invalid : m.targetState;
+        CacheFrame &f = c.install(txn.lineBase, install_state,
+                                  m.isPrefetch, evicted);
+        if (m.arriveInvalid) {
+            f.invalFalseSharing = m.invalFalseSharing;
+            if (m.isPrefetch && !m.demandWaiting)
+                c.markPrefetchLost(txn.lineBase);
+            if (!m.isPrefetch) {
+                // The blocked access consumed the fill data before the
+                // invalidation logically applied; record its word for
+                // the false-sharing attribution of the next miss.
+                f.accessMask |= 1u << m.demandWord;
+            }
+        }
+        if (evicted.dirty) {
+            Transaction wb;
+            wb.kind = BusOpKind::WriteBack;
+            wb.requester = txn.requester;
+            wb.lineBase = evicted.lineBase;
+            wb.issuedAt = now;
+            bus_.request(wb, now);
+        }
+        if (m.demandWaiting && wake_) {
+            // A demand fill satisfies its blocked access even when the
+            // line arrives dead: the fill's address phase ordered the
+            // access before the invalidating write, so refetching is
+            // unnecessary — and skipping it guarantees forward
+            // progress. Everything else re-executes: a live fill turns
+            // the retry into a hit; a killed prefetch fill refetches as
+            // an ordinary demand miss.
+            const bool satisfied = !m.isPrefetch && m.arriveInvalid;
+            wake_(txn.requester, /*retry=*/!satisfied);
+        }
+        return;
+      }
+    }
+    prefsim_panic("unknown bus op in completion");
+}
+
+bool
+MemorySystem::checkLineInvariant(Addr addr) const
+{
+    const Addr base = geom_.lineBase(addr);
+    unsigned valid = 0;
+    unsigned exclusive = 0;
+    for (const auto &cp : caches_) {
+        const LineState s = cp->stateAnywhere(base);
+        if (isValid(s))
+            ++valid;
+        if (isPrivate(s))
+            ++exclusive;
+    }
+    if (exclusive > 1)
+        return false;
+    if (exclusive == 1 && valid > 1)
+        return false;
+    return true;
+}
+
+} // namespace prefsim

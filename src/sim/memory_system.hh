@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The snooping coherent memory system.
+ *
+ * Owns every processor's data cache and the split-transaction bus, and
+ * implements the Illinois write-invalidate protocol across them:
+ *
+ *  - read miss: sourced cache-to-cache when any copy exists (requester
+ *    installs Shared, remote M/E copies downgrade to Shared); otherwise
+ *    installs Exclusive (private clean);
+ *  - write miss / exclusive prefetch: ReadExclusive invalidates every
+ *    other copy; a demand write installs Modified, an exclusive prefetch
+ *    installs Exclusive (the Illinois private-clean state, §3.3);
+ *  - write hit on Shared: an address-only Upgrade invalidates the other
+ *    copies; the writer stalls until it is granted;
+ *  - prefetch hit (any state): dropped, no bus operation (§4.1).
+ *
+ * Snooping happens at request time; fills that are invalidated while in
+ * flight arrive dead (install Invalid), which is how "prefetched data
+ * invalidated before use" becomes observable. Miss classification — the
+ * paper's Figure 3 taxonomy plus per-word false-sharing attribution —
+ * is performed here, at the moment each CPU miss is discovered.
+ */
+
+#ifndef PREFSIM_SIM_MEMORY_SYSTEM_HH
+#define PREFSIM_SIM_MEMORY_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/cache_geometry.hh"
+#include "common/types.hh"
+#include "mem/data_cache.hh"
+#include "mem/split_bus.hh"
+#include "sim/sim_stats.hh"
+
+namespace prefsim
+{
+
+/**
+ * Coherence protocol family.
+ *
+ * The paper assumes write-invalidate (Illinois); the write-update
+ * variant (Firefly-style: writes to shared lines broadcast the word and
+ * update memory, copies stay valid) exists as an ablation — it removes
+ * invalidation misses entirely, at the price of an update operation on
+ * every write to shared data.
+ */
+enum class CoherenceProtocol
+{
+    WriteInvalidate, ///< Illinois/MESI: the paper's protocol.
+    WriteUpdate,     ///< Firefly-style broadcast updates.
+};
+
+/** Outcome of a demand access. */
+enum class AccessResult
+{
+    Hit,              ///< Completed this cycle.
+    VictimHit,        ///< Swapped in from the victim buffer: one extra
+                      ///< cycle, no bus operation.
+    MissWait,         ///< Blocked on a fill.
+    UpgradeWait,      ///< Write hit on Shared: blocked on the upgrade.
+    InProgressWait,   ///< Blocked on a prefetch already in flight.
+};
+
+/** Outcome of executing a prefetch instruction. */
+enum class PrefetchResult
+{
+    Issued,           ///< Went to the bus.
+    DroppedResident,  ///< Line already cached: no bus operation.
+    DroppedDuplicate, ///< A fill for the line is already outstanding.
+    BufferFull,       ///< Prefetch buffer full: the CPU must stall.
+};
+
+/**
+ * Coherent caches + bus. Processors call demandAccess()/prefetchAccess();
+ * the Simulator ticks the bus and receives wake callbacks.
+ */
+class MemorySystem
+{
+  public:
+    /**
+     * Called when the operation a processor was blocked on completes.
+     * When @c retry is true the processor must re-execute the blocked
+     * access (it may hit, upgrade, or miss again); when false the access
+     * was satisfied by the completing operation and the processor moves
+     * on. Demand fills always satisfy their access — their address phase
+     * ordered them before any in-flight invalidation — which guarantees
+     * forward progress (no refetch livelock).
+     */
+    using WakeFn = std::function<void(ProcId, bool retry)>;
+
+    MemorySystem(unsigned num_procs, const CacheGeometry &geom,
+                 const BusTiming &timing, unsigned prefetch_buffer_depth,
+                 std::vector<ProcStats> &proc_stats,
+                 unsigned victim_entries = 0,
+                 unsigned prefetch_data_buffer_entries = 0,
+                 CoherenceProtocol protocol =
+                     CoherenceProtocol::WriteInvalidate);
+
+    void setWake(WakeFn fn) { wake_ = std::move(fn); }
+
+    /**
+     * Observer invoked on every classified CPU miss with the line base
+     * and whether it was an invalidation miss. Used by tests and the
+     * diagnostic tools; adds no cost when unset.
+     */
+    using MissObserverFn = std::function<void(ProcId, Addr, bool inval)>;
+    void setMissObserver(MissObserverFn fn)
+    {
+        miss_observer_ = std::move(fn);
+    }
+
+    /**
+     * Execute a demand reference for @p proc at cycle @p now.
+     * Classification counters are updated on the first encounter of each
+     * miss; a retry after wake re-runs the access and may hit, upgrade,
+     * or (rarely, after an in-flight invalidation) miss again.
+     */
+    AccessResult demandAccess(ProcId proc, Addr addr, bool is_write,
+                              Cycle now);
+
+    /** Execute a prefetch instruction for @p proc. */
+    PrefetchResult prefetchAccess(ProcId proc, Addr addr, bool exclusive,
+                                  Cycle now);
+
+    /** Advance the bus one cycle (completions fire wake callbacks). */
+    void tick(Cycle now) { bus_.tick(now); }
+
+    /** Zero the bus statistics (warmup exclusion). */
+    void resetBusStats() { bus_.resetStats(); }
+
+    /** True while any bus operation is outstanding. */
+    bool busBusy() const { return bus_.busy(); }
+
+    const SplitBus &bus() const { return bus_; }
+    const DataCache &cache(ProcId p) const { return *caches_[p]; }
+    DataCache &cache(ProcId p) { return *caches_[p]; }
+    unsigned numProcs() const
+    {
+        return static_cast<unsigned>(caches_.size());
+    }
+    const CacheGeometry &geometry() const { return geom_; }
+
+    /** Coherence invariant: at most one M/E copy of any line, and no
+     *  valid copy elsewhere when one exists (testing support). Returns
+     *  true when the invariant holds for @p addr's line. */
+    bool checkLineInvariant(Addr addr) const;
+
+  private:
+    /** Result of probing every other cache for a line. */
+    struct SnoopSummary
+    {
+        bool anyCopy = false; ///< Valid copy or in-flight fill elsewhere.
+    };
+
+    /** Probe other caches (frames and MSHRs) for @p line_base. */
+    SnoopSummary probeOthers(ProcId requester, Addr line_base) const;
+
+    /** Downgrade every other copy to Shared (remote ReadShared). */
+    void downgradeOthers(ProcId requester, Addr line_base);
+
+    /**
+     * Invalidate every other copy / in-flight fill of @p line_base.
+     * @p word is the word index the invalidating access targets, for
+     * false-sharing attribution.
+     */
+    void invalidateOthers(ProcId requester, Addr line_base,
+                          std::uint32_t word);
+
+    /** Bus completion dispatcher. */
+    void onBusComplete(const Transaction &txn, Cycle now);
+
+    /** Classify and count a CPU miss discovered on @p frame (the
+     *  tag-matching frame, possibly nullptr). */
+    void classifyMiss(ProcId proc, const CacheFrame *frame, Addr line_base,
+                      bool prefetched_lost);
+
+    CacheGeometry geom_;
+    SplitBus bus_;
+    /** Prefetch fills park in a non-snooping buffer when non-zero. */
+    unsigned pdb_entries_ = 0;
+    CoherenceProtocol protocol_ = CoherenceProtocol::WriteInvalidate;
+    std::vector<std::unique_ptr<DataCache>> caches_;
+    std::vector<ProcStats> &stats_;
+    WakeFn wake_;
+    MissObserverFn miss_observer_;
+
+    /** Pending upgrade per processor (line base; kNoAddr when none). */
+    std::vector<Addr> pending_upgrade_;
+};
+
+} // namespace prefsim
+
+#endif // PREFSIM_SIM_MEMORY_SYSTEM_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The trace-driven processor model.
+ *
+ * Timing follows the paper (§3.3): one cycle per instruction plus one
+ * cycle per data access when it hits; a demand miss blocks the CPU until
+ * its fill arrives (the cache is lockup-free for prefetches only). A
+ * prefetch instruction costs a single cycle and stalls only when the
+ * 16-deep prefetch buffer is full. Locks spin without bus traffic;
+ * barriers hold the processor until every processor arrives.
+ */
+
+#ifndef PREFSIM_SIM_PROCESSOR_HH
+#define PREFSIM_SIM_PROCESSOR_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+#include "sim/memory_system.hh"
+#include "sim/sim_stats.hh"
+#include "sim/sync.hh"
+#include "trace/trace.hh"
+
+namespace prefsim
+{
+
+/** One simulated CPU executing its trace. */
+class Processor
+{
+  public:
+    /** Invoked by the last barrier arriver to release the others. */
+    using ReleaseAllFn = std::function<void(Cycle)>;
+
+    Processor(ProcId id, const Trace &trace, MemorySystem &mem,
+              LockTable &locks, BarrierManager &barriers, ProcStats &stats,
+              ReleaseAllFn release_all);
+
+    /** Execute (at most) one cycle of work at cycle @p now. */
+    void tick(Cycle now);
+
+    /**
+     * Wake from a memory-system stall at cycle @p now.
+     * @param retry Re-execute the blocked access (vs. it was satisfied).
+     */
+    void wake(bool retry, Cycle now);
+
+    /** Release from a barrier (all processors arrived). */
+    void barrierRelease(Cycle now);
+
+    bool done() const { return state_ == State::Done; }
+    bool waitingAtBarrier() const { return state_ == State::WaitBarrier; }
+    ProcId id() const { return id_; }
+
+    /** Trace records retired plus partial progress (progress monitor). */
+    std::uint64_t progress() const { return progress_; }
+
+    /** Human-readable state (deadlock diagnostics). */
+    std::string describeState() const;
+
+  private:
+    enum class State : std::uint8_t
+    {
+        Running,      ///< Executing trace records.
+        WaitMemory,   ///< Blocked in the memory system (fill/upgrade).
+        SpinLock,     ///< Spinning on a held lock.
+        WaitBarrier,  ///< Arrived at a barrier, waiting for the rest.
+        StallPrefetch,///< Prefetch buffer full; reissuing each cycle.
+        Done,         ///< Trace exhausted.
+    };
+
+    /** Advance to the next record. */
+    void advance(Cycle now);
+
+    /** Execute the data access of the current Read/Write record.
+     *  @return true if the record completed. */
+    bool executeAccess(Cycle now);
+
+    ProcId id_;
+    const Trace &trace_;
+    MemorySystem &mem_;
+    LockTable &locks_;
+    BarrierManager &barriers_;
+    ProcStats &stats_;
+    ReleaseAllFn release_all_;
+
+    State state_ = State::Running;
+    std::size_t index_ = 0;       ///< Current record.
+    std::uint32_t instr_left_ = 0;///< Remaining count of an Instr record.
+    bool in_access_phase_ = false;///< Ref record: instruction cycle done.
+    std::uint64_t progress_ = 0;
+};
+
+} // namespace prefsim
+
+#endif // PREFSIM_SIM_PROCESSOR_HH

@@ -1,0 +1,122 @@
+#include "sim/sim_stats.hh"
+
+namespace prefsim
+{
+
+MissBreakdown &
+MissBreakdown::operator+=(const MissBreakdown &o)
+{
+    nonSharingNotPrefetched += o.nonSharingNotPrefetched;
+    nonSharingPrefetched += o.nonSharingPrefetched;
+    invalNotPrefetched += o.invalNotPrefetched;
+    invalPrefetched += o.invalPrefetched;
+    prefetchInProgress += o.prefetchInProgress;
+    falseSharing += o.falseSharing;
+    return *this;
+}
+
+std::uint64_t
+SimStats::totalDemandRefs() const
+{
+    std::uint64_t n = 0;
+    for (const auto &p : procs)
+        n += p.demandRefs;
+    return n;
+}
+
+std::uint64_t
+SimStats::totalPrefetchesExecuted() const
+{
+    std::uint64_t n = 0;
+    for (const auto &p : procs)
+        n += p.prefetchesExecuted;
+    return n;
+}
+
+std::uint64_t
+SimStats::totalPrefetchMisses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &p : procs)
+        n += p.prefetchMisses;
+    return n;
+}
+
+std::uint64_t
+SimStats::totalUpgrades() const
+{
+    std::uint64_t n = 0;
+    for (const auto &p : procs)
+        n += p.upgradesIssued;
+    return n;
+}
+
+MissBreakdown
+SimStats::totalMisses() const
+{
+    MissBreakdown m;
+    for (const auto &p : procs)
+        m += p.misses;
+    return m;
+}
+
+namespace
+{
+
+double
+rate(std::uint64_t num, std::uint64_t den)
+{
+    return den ? static_cast<double>(num) / static_cast<double>(den) : 0.0;
+}
+
+} // namespace
+
+double
+SimStats::cpuMissRate() const
+{
+    return rate(totalMisses().cpu(), totalDemandRefs());
+}
+
+double
+SimStats::adjustedCpuMissRate() const
+{
+    return rate(totalMisses().adjustedCpu(), totalDemandRefs());
+}
+
+double
+SimStats::totalMissRate() const
+{
+    return rate(totalMisses().adjustedCpu() + totalPrefetchMisses(),
+                totalDemandRefs());
+}
+
+double
+SimStats::invalidationMissRate() const
+{
+    return rate(totalMisses().invalidation(), totalDemandRefs());
+}
+
+double
+SimStats::falseSharingMissRate() const
+{
+    return rate(totalMisses().falseSharing, totalDemandRefs());
+}
+
+double
+SimStats::busUtilization() const
+{
+    return bus.utilization(cycles);
+}
+
+double
+SimStats::avgProcUtilization() const
+{
+    if (procs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &p : procs)
+        sum += p.utilization();
+    return sum / static_cast<double>(procs.size());
+}
+
+} // namespace prefsim

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Simulation statistics: the paper's measurement vocabulary.
+ *
+ * Terminology follows the paper's footnote 1 exactly:
+ *  - *misses* (total miss rate) cover prefetch and non-prefetch accesses
+ *    that do not hit in the cache;
+ *  - *CPU misses* are misses on non-prefetch accesses — the ones the
+ *    processor observes;
+ *  - *non-sharing* CPU misses exclude invalidation misses;
+ *  - *prefetch misses* occur on prefetch accesses only;
+ *  - the *adjusted* CPU miss rate excludes prefetch-in-progress misses.
+ *
+ * Rates are normalised by demand references, which is constant across
+ * strategies for a given workload — that makes the total miss rate
+ * directly proportional to the demand placed on the bus, which is how
+ * the paper uses it.
+ */
+
+#ifndef PREFSIM_SIM_SIM_STATS_HH
+#define PREFSIM_SIM_SIM_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/split_bus.hh"
+
+namespace prefsim
+{
+
+/** CPU-miss components (the five categories of Figure 3). */
+struct MissBreakdown
+{
+    /** Non-sharing miss, no prefetch covered it. */
+    std::uint64_t nonSharingNotPrefetched = 0;
+    /** Non-sharing miss; prefetched data was replaced before use. */
+    std::uint64_t nonSharingPrefetched = 0;
+    /** Invalidation miss, no prefetch covered it. */
+    std::uint64_t invalNotPrefetched = 0;
+    /** Invalidation miss; prefetched data was invalidated before use. */
+    std::uint64_t invalPrefetched = 0;
+    /** The access found its line's prefetch still in flight and waited
+     *  for the residual latency. */
+    std::uint64_t prefetchInProgress = 0;
+
+    /** Of the invalidation misses, those whose invalidating write hit a
+     *  word the local processor had not accessed (false sharing). */
+    std::uint64_t falseSharing = 0;
+
+    std::uint64_t
+    invalidation() const
+    {
+        return invalNotPrefetched + invalPrefetched;
+    }
+
+    std::uint64_t
+    nonSharing() const
+    {
+        return nonSharingNotPrefetched + nonSharingPrefetched;
+    }
+
+    /** All CPU misses (the five categories). */
+    std::uint64_t
+    cpu() const
+    {
+        return nonSharing() + invalidation() + prefetchInProgress;
+    }
+
+    /** CPU misses excluding prefetch-in-progress. */
+    std::uint64_t
+    adjustedCpu() const
+    {
+        return nonSharing() + invalidation();
+    }
+
+    MissBreakdown &operator+=(const MissBreakdown &o);
+};
+
+/** Per-processor execution accounting. */
+struct ProcStats
+{
+    /** @name Cycle breakdown (sums to finishedAt). @{ */
+    Cycle busy = 0;              ///< Instructions retired + hit accesses.
+    Cycle stallDemand = 0;       ///< Blocked on a demand fill.
+    Cycle stallUpgrade = 0;      ///< Blocked on an upgrade (write to S).
+    Cycle stallPrefetchQueue = 0;///< Prefetch buffer full.
+    Cycle spinLock = 0;          ///< Spinning on a held lock.
+    Cycle waitBarrier = 0;       ///< Waiting at a barrier.
+    /** @} */
+
+    std::uint64_t demandRefs = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+
+    /** Prefetch instructions executed. */
+    std::uint64_t prefetchesExecuted = 0;
+    /** Prefetches that went to the bus (prefetch misses). */
+    std::uint64_t prefetchMisses = 0;
+    /** Prefetches dropped because the line was resident. */
+    std::uint64_t prefetchesDroppedResident = 0;
+    /** Prefetches dropped because a fill was already outstanding. */
+    std::uint64_t prefetchesDroppedDuplicate = 0;
+
+    /** Upgrade (invalidate) operations issued by this processor. */
+    std::uint64_t upgradesIssued = 0;
+
+    /** Misses satisfied by the victim buffer (one-cycle swap, no bus
+     *  operation; only with SimConfig::victimEntries > 0). */
+    std::uint64_t victimHits = 0;
+
+    /** Demand accesses satisfied by promoting a line from the
+     *  non-snooping prefetch data buffer (buffer-target mode only). */
+    std::uint64_t prefetchBufferHits = 0;
+    /** Remote operations that touched a line parked in the non-snooping
+     *  prefetch buffer. Real hardware would have served stale data; the
+     *  simulator invalidates the entry and counts the event — each one
+     *  is a line the compiler should not have buffered (§3.1). */
+    std::uint64_t bufferProtectionEvents = 0;
+
+    MissBreakdown misses;
+
+    /** Cycle this processor retired its last trace record. */
+    Cycle finishedAt = 0;
+
+    /** Fraction of this processor's run spent doing useful work. */
+    double
+    utilization() const
+    {
+        return finishedAt ? static_cast<double>(busy) /
+                                static_cast<double>(finishedAt)
+                          : 0.0;
+    }
+};
+
+/** Results of one simulation run. */
+struct SimStats
+{
+    /** Execution time: the cycle the last processor finished. */
+    Cycle cycles = 0;
+    std::vector<ProcStats> procs;
+    BusStats bus;
+
+    /** @name Aggregates over all processors. @{ */
+    std::uint64_t totalDemandRefs() const;
+    std::uint64_t totalPrefetchesExecuted() const;
+    std::uint64_t totalPrefetchMisses() const;
+    std::uint64_t totalUpgrades() const;
+    MissBreakdown totalMisses() const;
+
+    /** CPU miss rate: CPU misses / demand references. */
+    double cpuMissRate() const;
+    /** Adjusted CPU miss rate (paper Fig 1). */
+    double adjustedCpuMissRate() const;
+    /**
+     * Total miss rate: line fetches / demand references. A fetch is an
+     * adjusted CPU miss or an issued prefetch; prefetch-in-progress
+     * waits piggyback on a fetch already counted, so they are excluded.
+     * This is the metric the paper uses as "indicative of the demand at
+     * the bottleneck component of the machine" (§4.2).
+     */
+    double totalMissRate() const;
+    /** Invalidation miss rate (paper Table 3). */
+    double invalidationMissRate() const;
+    /** False-sharing miss rate (paper Table 3). */
+    double falseSharingMissRate() const;
+    /** Data-bus utilisation (paper Table 2). */
+    double busUtilization() const;
+    /** Mean per-processor utilisation (paper §4.2). */
+    double avgProcUtilization() const;
+    /** @} */
+};
+
+} // namespace prefsim
+
+#endif // PREFSIM_SIM_SIM_STATS_HH

@@ -1,0 +1,160 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace prefsim
+{
+
+Simulator::Simulator(const ParallelTrace &trace, const SimConfig &config)
+    : trace_(trace), config_(config),
+      proc_stats_(trace.numProcs()),
+      locks_(trace.numLocks),
+      barriers_(static_cast<unsigned>(trace.numProcs()))
+{
+    if (trace.numProcs() == 0)
+        prefsim_fatal("cannot simulate a trace with zero processors");
+    if (trace.numProcs() > 32)
+        prefsim_fatal("at most 32 processors supported (word masks)");
+
+    mem_ = std::make_unique<MemorySystem>(
+        static_cast<unsigned>(trace.numProcs()), config.geometry,
+        config.timing, config.prefetchBufferDepth, proc_stats_,
+        config.victimEntries, config.prefetchDataBufferEntries,
+        config.protocol);
+
+    mem_->setWake([this](ProcId p, bool retry) {
+        procs_[p]->wake(retry, cycle_);
+    });
+
+    auto release_all = [this](Cycle now) {
+        for (auto &pr : procs_) {
+            if (pr && pr->waitingAtBarrier())
+                pr->barrierRelease(now);
+        }
+        if (!warmup_done_ && config_.warmupEpisodes > 0 &&
+            barriers_.episodes() >= config_.warmupEpisodes) {
+            warmup_end_ = now + 1;
+            resetStatsForWarmup();
+        }
+    };
+
+    procs_.reserve(trace.numProcs());
+    for (ProcId p = 0; p < trace.numProcs(); ++p) {
+        procs_.push_back(std::make_unique<Processor>(
+            p, trace.procs[p], *mem_, locks_, barriers_, proc_stats_[p],
+            release_all));
+    }
+}
+
+void
+Simulator::resetStatsForWarmup()
+{
+    warmup_done_ = true;
+    for (auto &ps : proc_stats_)
+        ps = ProcStats{};
+    mem_->resetBusStats();
+}
+
+bool
+Simulator::allDone() const
+{
+    return std::all_of(procs_.begin(), procs_.end(),
+                       [](const auto &p) { return p->done(); });
+}
+
+std::uint64_t
+Simulator::progressSum() const
+{
+    std::uint64_t sum =
+        mem_->bus().stats().grantsDemand + mem_->bus().stats().grantsPrefetch;
+    for (const auto &p : procs_)
+        sum += p->progress();
+    return sum;
+}
+
+bool
+Simulator::stepCycle()
+{
+    if (allDone())
+        return false;
+
+    mem_->tick(cycle_);
+    // Rotate the processor service order so no processor systematically
+    // wins same-cycle races for locks.
+    const auto n = static_cast<unsigned>(procs_.size());
+    const unsigned start = static_cast<unsigned>(cycle_ % n);
+    for (unsigned i = 0; i < n; ++i)
+        procs_[(start + i) % n]->tick(cycle_);
+    ++cycle_;
+
+    if (cycle_ - last_progress_check_ >= config_.deadlockWindow) {
+        const std::uint64_t p = progressSum();
+        if (p == last_progress_value_)
+            reportDeadlock();
+        last_progress_value_ = p;
+        last_progress_check_ = cycle_;
+    }
+    return !allDone();
+}
+
+SimStats
+Simulator::run()
+{
+    while (stepCycle()) {
+    }
+    const Cycle done_at = cycle_;
+    // Drain in-flight writebacks so bus accounting is complete. These
+    // cycles do not extend the measured execution time.
+    Cycle drain = cycle_;
+    while (mem_->busBusy()) {
+        mem_->tick(drain);
+        ++drain;
+        if (drain - done_at > 10 * config_.timing.totalLatency + 10000)
+            prefsim_panic("bus failed to drain after completion");
+    }
+    if (!locks_.allFree())
+        prefsim_panic("locks still held at end of simulation");
+    if (config_.warmupEpisodes > 0 && !warmup_done_) {
+        prefsim_warn("trace ended before the configured warmup (",
+                     config_.warmupEpisodes,
+                     " barrier episodes); statistics cover the full run");
+    }
+
+    SimStats stats;
+    // The measured window starts when warmup ended.
+    stats.cycles = done_at - warmup_end_;
+    stats.procs = proc_stats_;
+    for (auto &ps : stats.procs) {
+        ps.finishedAt =
+            ps.finishedAt > warmup_end_ ? ps.finishedAt - warmup_end_ : 0;
+    }
+    stats.bus = mem_->bus().stats();
+    return stats;
+}
+
+void
+Simulator::reportDeadlock() const
+{
+    std::ostringstream os;
+    os << "no progress for " << config_.deadlockWindow
+       << " cycles at cycle " << cycle_ << "\n";
+    for (ProcId p = 0; p < procs_.size(); ++p) {
+        os << "  proc " << p << ": " << procs_[p]->describeState()
+           << " progress=" << procs_[p]->progress() << "\n";
+    }
+    os << "  barrier arrivals: " << barriers_.arrivedCount()
+       << ", episodes: " << barriers_.episodes();
+    prefsim_panic(os.str());
+}
+
+SimStats
+simulate(const ParallelTrace &trace, const SimConfig &config)
+{
+    Simulator sim(trace, config);
+    return sim.run();
+}
+
+} // namespace prefsim

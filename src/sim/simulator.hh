@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The multiprocessor simulator: prefsim's Charlie equivalent.
+ *
+ * Wires processors, coherent caches, the split-transaction bus and the
+ * synchronization managers together, and runs the cycle loop to
+ * completion. Construction takes an (optionally prefetch-annotated)
+ * ParallelTrace; run() returns the full SimStats.
+ */
+
+#ifndef PREFSIM_SIM_SIMULATOR_HH
+#define PREFSIM_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/cache_geometry.hh"
+#include "common/types.hh"
+#include "mem/split_bus.hh"
+#include "sim/memory_system.hh"
+#include "sim/processor.hh"
+#include "sim/sim_stats.hh"
+#include "sim/sync.hh"
+#include "trace/trace.hh"
+
+namespace prefsim
+{
+
+/** Hardware configuration of one simulation (paper §3.3 defaults). */
+struct SimConfig
+{
+    /** Per-processor data cache geometry. */
+    CacheGeometry geometry = CacheGeometry::paperDefault();
+    /** Memory subsystem timing (vary dataTransfer for the paper sweep). */
+    BusTiming timing{};
+    /** Depth of the prefetch instruction buffer. */
+    unsigned prefetchBufferDepth = 16;
+    /** Victim-cache entries beside each data cache (0 = none, the
+     *  paper's configuration; 4.3 suggests a small victim cache to
+     *  absorb prefetch-induced conflict misses). */
+    unsigned victimEntries = 0;
+    /**
+     * Prefetch *into* a non-snooping data buffer of this many entries
+     * instead of the cache (0 = cache prefetching, the paper's choice).
+     * Models the 3.1 alternative; combine with the annotation pass's
+     * privateLinesOnly, or watch bufferProtectionEvents count the
+     * coherence violations the compiler failed to prevent.
+     */
+    unsigned prefetchDataBufferEntries = 0;
+    /** Coherence protocol (the paper assumes write-invalidate; the
+     *  write-update variant is an ablation — see
+     *  bench_ablation_protocol). */
+    CoherenceProtocol protocol = CoherenceProtocol::WriteInvalidate;
+    /**
+     * Barrier episodes treated as cache warmup: when the Nth barrier
+     * completes, all statistics reset and the measured execution window
+     * begins. The paper's traces were ~2M references per processor, long
+     * enough to amortise cold-start misses; our scaled-down traces
+     * exclude them explicitly instead. 0 measures from cycle 0.
+     */
+    unsigned warmupEpisodes = 1;
+    /**
+     * Cycles without any processor or bus progress before the simulator
+     * declares a deadlock and panics with a state dump.
+     */
+    Cycle deadlockWindow = 2'000'000;
+};
+
+/**
+ * One simulation run over a ParallelTrace.
+ */
+class Simulator
+{
+  public:
+    /**
+     * @param trace The workload; prefetch records are honoured as-is.
+     * @param config Hardware parameters.
+     * The trace must outlive the simulator (it is not copied).
+     */
+    Simulator(const ParallelTrace &trace, const SimConfig &config);
+
+    /** Run to completion and return the statistics. */
+    SimStats run();
+
+    /** Single-step one cycle (testing). @return true while active. */
+    bool stepCycle();
+
+    Cycle currentCycle() const { return cycle_; }
+    const MemorySystem &memory() const { return *mem_; }
+    MemorySystem &memory() { return *mem_; }
+    const std::vector<ProcStats> &procStats() const { return proc_stats_; }
+    unsigned numProcs() const
+    {
+        return static_cast<unsigned>(procs_.size());
+    }
+
+  private:
+    /** True when every processor has retired its trace. */
+    bool allDone() const;
+
+    /** Zero all statistics at the end of warmup. */
+    void resetStatsForWarmup();
+
+    /** Sum of processor progress counters + bus grants. */
+    std::uint64_t progressSum() const;
+
+    [[noreturn]] void reportDeadlock() const;
+
+    const ParallelTrace &trace_;
+    SimConfig config_;
+    std::vector<ProcStats> proc_stats_;
+    std::unique_ptr<MemorySystem> mem_;
+    LockTable locks_;
+    BarrierManager barriers_;
+    std::vector<std::unique_ptr<Processor>> procs_;
+    Cycle cycle_ = 0;
+
+    Cycle last_progress_check_ = 0;
+    std::uint64_t last_progress_value_ = 0;
+    bool warmup_done_ = false;
+    Cycle warmup_end_ = 0;
+};
+
+/** Convenience one-shot: build a Simulator and run it. */
+SimStats simulate(const ParallelTrace &trace, const SimConfig &config);
+
+} // namespace prefsim
+
+#endif // PREFSIM_SIM_SIMULATOR_HH

@@ -1,0 +1,88 @@
+#include "sim/sync.hh"
+
+#include "common/log.hh"
+
+namespace prefsim
+{
+
+LockTable::LockTable(SyncId num_locks)
+    : holders_(num_locks, kNoProc)
+{}
+
+bool
+LockTable::tryAcquire(SyncId id, ProcId proc)
+{
+    prefsim_assert(id < holders_.size(), "lock id ", id, " out of range");
+    ProcId &h = holders_[id];
+    if (h == proc)
+        prefsim_panic("proc ", proc, " re-acquiring held lock ", id);
+    if (h != kNoProc)
+        return false;
+    h = proc;
+    return true;
+}
+
+void
+LockTable::release(SyncId id, ProcId proc)
+{
+    prefsim_assert(id < holders_.size(), "lock id ", id, " out of range");
+    if (holders_[id] != proc)
+        prefsim_panic("proc ", proc, " releasing lock ", id,
+                      " held by ", holders_[id]);
+    holders_[id] = kNoProc;
+}
+
+ProcId
+LockTable::holder(SyncId id) const
+{
+    prefsim_assert(id < holders_.size(), "lock id ", id, " out of range");
+    return holders_[id];
+}
+
+bool
+LockTable::allFree() const
+{
+    for (auto h : holders_) {
+        if (h != kNoProc)
+            return false;
+    }
+    return true;
+}
+
+BarrierManager::BarrierManager(unsigned num_procs)
+    : num_procs_(num_procs), arrived_(num_procs, false)
+{}
+
+bool
+BarrierManager::arrive(SyncId id, ProcId proc)
+{
+    prefsim_assert(proc < num_procs_, "barrier arrival from bad proc");
+    if (!episode_open_) {
+        episode_open_ = true;
+        episode_id_ = id;
+    } else if (id != episode_id_) {
+        prefsim_panic("barrier id mismatch: proc ", proc, " arrived at ",
+                      id, " while episode ", episode_id_, " is open");
+    }
+    if (arrived_[proc])
+        prefsim_panic("proc ", proc, " arrived twice at barrier ", id);
+    arrived_[proc] = true;
+    ++arrived_count_;
+    if (arrived_count_ == num_procs_) {
+        // Episode complete: reset for the next one.
+        arrived_.assign(num_procs_, false);
+        arrived_count_ = 0;
+        episode_open_ = false;
+        ++episodes_;
+        return true;
+    }
+    return false;
+}
+
+bool
+BarrierManager::waiting(ProcId proc) const
+{
+    return episode_open_ && arrived_[proc];
+}
+
+} // namespace prefsim

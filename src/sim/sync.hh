@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Lock and barrier bookkeeping.
+ *
+ * Charlie "carries out locking and barrier synchronization; therefore,
+ * as the interleaving of accesses from the different processors is
+ * changed by the behavior of the memory subsystem, Charlie ensures that
+ * a legal interleaving is maintained" (paper §3.3). We reproduce that
+ * contract: processors may acquire locks in a different order than the
+ * traced run, but critical sections stay mutually exclusive and barriers
+ * hold everyone until the last arrival. Spinning is modelled as
+ * cache-resident test-and-test&set: it burns processor cycles but
+ * generates no bus traffic.
+ */
+
+#ifndef PREFSIM_SIM_SYNC_HH
+#define PREFSIM_SIM_SYNC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace prefsim
+{
+
+/** Mutual-exclusion state for the workload's lock set. */
+class LockTable
+{
+  public:
+    explicit LockTable(SyncId num_locks);
+
+    /**
+     * Attempt to take lock @p id for @p proc.
+     * @return true on success; false if another processor holds it.
+     * Recursive acquisition panics (trace bug).
+     */
+    bool tryAcquire(SyncId id, ProcId proc);
+
+    /** Release lock @p id; panics unless @p proc holds it. */
+    void release(SyncId id, ProcId proc);
+
+    /** Holder of @p id, or kNoProc. */
+    ProcId holder(SyncId id) const;
+
+    /** True if no lock is held (end-of-run invariant). */
+    bool allFree() const;
+
+    SyncId numLocks() const
+    {
+        return static_cast<SyncId>(holders_.size());
+    }
+
+  private:
+    std::vector<ProcId> holders_;
+};
+
+/** All-processor barrier with episode-id consistency checking. */
+class BarrierManager
+{
+  public:
+    explicit BarrierManager(unsigned num_procs);
+
+    /**
+     * Processor @p proc arrives at barrier @p id.
+     * @return true if this arrival completes the episode (caller should
+     *         wake all waiting processors).
+     * Panics if @p proc arrives twice in one episode or if @p id differs
+     * from the episode's id (illegal interleaving — a generator bug).
+     */
+    bool arrive(SyncId id, ProcId proc);
+
+    /** True if @p proc has arrived and the episode is still open. */
+    bool waiting(ProcId proc) const;
+
+    /** Completed barrier episodes. */
+    std::uint64_t episodes() const { return episodes_; }
+
+    /** Processors currently arrived in the open episode. */
+    unsigned arrivedCount() const { return arrived_count_; }
+
+  private:
+    unsigned num_procs_;
+    std::vector<bool> arrived_;
+    unsigned arrived_count_ = 0;
+    bool episode_open_ = false;
+    SyncId episode_id_ = 0;
+    std::uint64_t episodes_ = 0;
+};
+
+} // namespace prefsim
+
+#endif // PREFSIM_SIM_SYNC_HH

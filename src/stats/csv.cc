@@ -1,0 +1,38 @@
+#include "stats/csv.hh"
+
+#include <ostream>
+
+namespace prefsim
+{
+
+CsvWriter::CsvWriter(std::ostream &os)
+    : os_(os)
+{}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os_ << ",";
+        os_ << escape(cells[i]);
+    }
+    os_ << "\n";
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (char ch : field) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace prefsim

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * CSV emission so the reproduction's figures can be re-plotted.
+ */
+
+#ifndef PREFSIM_STATS_CSV_HH
+#define PREFSIM_STATS_CSV_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace prefsim
+{
+
+/** Minimal CSV writer (quotes fields containing separators). */
+class CsvWriter
+{
+  public:
+    /** Stream-backed writer; the stream must outlive the writer. */
+    explicit CsvWriter(std::ostream &os);
+
+    /** Write one row of cells. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Escape a single field per RFC 4180. */
+    static std::string escape(const std::string &field);
+
+  private:
+    std::ostream &os_;
+};
+
+} // namespace prefsim
+
+#endif // PREFSIM_STATS_CSV_HH

@@ -1,0 +1,217 @@
+#include "stats/json.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "common/log.hh"
+
+namespace prefsim
+{
+
+JsonWriter::JsonWriter(std::ostream &os)
+    : os_(os)
+{}
+
+void
+JsonWriter::separate()
+{
+    if (pending_key_) {
+        pending_key_ = false;
+        return; // The key already emitted its separator.
+    }
+    if (!has_.empty() && has_.back() == '1')
+        os_ << ",";
+    if (!has_.empty())
+        has_.back() = '1';
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    os_ << "{";
+    state_.push_back('o');
+    has_.push_back('0');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    prefsim_assert(!state_.empty() && state_.back() == 'o',
+                   "endObject outside object");
+    os_ << "}";
+    state_.pop_back();
+    has_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    os_ << "[";
+    state_.push_back('a');
+    has_.push_back('0');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    prefsim_assert(!state_.empty() && state_.back() == 'a',
+                   "endArray outside array");
+    os_ << "]";
+    state_.pop_back();
+    has_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    prefsim_assert(!state_.empty() && state_.back() == 'o',
+                   "key outside object");
+    separate();
+    os_ << escape(name) << ":";
+    pending_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    os_ << escape(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separate();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out = "\"";
+    for (char ch : s) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(ch));
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+void
+writeJson(std::ostream &os, const SimStats &stats, const std::string &label)
+{
+    JsonWriter j(os);
+    j.beginObject();
+    if (!label.empty())
+        j.key("label").value(label);
+    j.key("cycles").value(stats.cycles);
+    j.key("demandRefs").value(stats.totalDemandRefs());
+    j.key("cpuMissRate").value(stats.cpuMissRate());
+    j.key("adjustedCpuMissRate").value(stats.adjustedCpuMissRate());
+    j.key("totalMissRate").value(stats.totalMissRate());
+    j.key("invalidationMissRate").value(stats.invalidationMissRate());
+    j.key("falseSharingMissRate").value(stats.falseSharingMissRate());
+    j.key("busUtilization").value(stats.busUtilization());
+    j.key("avgProcUtilization").value(stats.avgProcUtilization());
+
+    j.key("bus").beginObject();
+    j.key("busyCycles").value(stats.bus.busyCycles);
+    for (unsigned k = 0; k < 5; ++k) {
+        j.key(busOpName(static_cast<BusOpKind>(k)))
+            .value(stats.bus.opCount[k]);
+    }
+    j.key("queueWaitDemand").value(stats.bus.queueWaitDemand);
+    j.key("queueWaitPrefetch").value(stats.bus.queueWaitPrefetch);
+    j.endObject();
+
+    j.key("procs").beginArray();
+    for (const auto &p : stats.procs) {
+        j.beginObject();
+        j.key("busy").value(p.busy);
+        j.key("stallDemand").value(p.stallDemand);
+        j.key("stallUpgrade").value(p.stallUpgrade);
+        j.key("stallPrefetchQueue").value(p.stallPrefetchQueue);
+        j.key("spinLock").value(p.spinLock);
+        j.key("waitBarrier").value(p.waitBarrier);
+        j.key("finishedAt").value(p.finishedAt);
+        j.key("demandRefs").value(p.demandRefs);
+        j.key("prefetchesExecuted").value(p.prefetchesExecuted);
+        j.key("prefetchMisses").value(p.prefetchMisses);
+        j.key("upgradesIssued").value(p.upgradesIssued);
+        j.key("victimHits").value(p.victimHits);
+        j.key("prefetchBufferHits").value(p.prefetchBufferHits);
+        j.key("bufferProtectionEvents").value(p.bufferProtectionEvents);
+        j.key("misses").beginObject();
+        j.key("nonSharingNotPrefetched")
+            .value(p.misses.nonSharingNotPrefetched);
+        j.key("nonSharingPrefetched").value(p.misses.nonSharingPrefetched);
+        j.key("invalNotPrefetched").value(p.misses.invalNotPrefetched);
+        j.key("invalPrefetched").value(p.misses.invalPrefetched);
+        j.key("prefetchInProgress").value(p.misses.prefetchInProgress);
+        j.key("falseSharing").value(p.misses.falseSharing);
+        j.endObject();
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+    os << "\n";
+}
+
+} // namespace prefsim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * JSON serialisation of simulation results, for downstream plotting and
+ * archival of experiment outputs.
+ */
+
+#ifndef PREFSIM_STATS_JSON_HH
+#define PREFSIM_STATS_JSON_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/sim_stats.hh"
+
+namespace prefsim
+{
+
+/**
+ * Minimal JSON value writer (objects, arrays, numbers, strings).
+ *
+ * Emits compact, valid JSON; strings are escaped per RFC 8259. Usage:
+ *
+ *   JsonWriter j(os);
+ *   j.beginObject();
+ *   j.key("cycles").value(123);
+ *   j.key("procs").beginArray();
+ *   ...
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os);
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+    JsonWriter &key(const std::string &name);
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(bool v);
+
+    /** Escape a string per JSON rules (quotes included). */
+    static std::string escape(const std::string &s);
+
+  private:
+    /** Emit a comma if the current container already has an element. */
+    void separate();
+
+    std::ostream &os_;
+    /** Per-depth flag: something was emitted at this level. */
+    std::string state_; // 'o' object, 'a' array; paired with has_.
+    std::string has_;
+    bool pending_key_ = false;
+};
+
+/**
+ * Serialise @p stats as a JSON object: the headline rates, the bus
+ * counters, and a per-processor array with the full cycle/miss
+ * breakdowns. @p label becomes a "label" field (experiment identity).
+ */
+void writeJson(std::ostream &os, const SimStats &stats,
+               const std::string &label = "");
+
+} // namespace prefsim
+
+#endif // PREFSIM_STATS_JSON_HH

@@ -1,0 +1,112 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace prefsim
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    prefsim_assert(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    prefsim_assert(cells.size() == headers_.size(),
+                   "row width ", cells.size(), " != header width ",
+                   headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::size_t
+TextTable::numRows() const
+{
+    return static_cast<std::size_t>(std::count_if(
+        rows_.begin(), rows_.end(),
+        [](const auto &r) { return !r.empty(); }));
+}
+
+void
+TextTable::addRule()
+{
+    rows_.emplace_back(); // Sentinel.
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_rule = [&]() {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << (c == 0 ? "+" : "") << std::string(widths[c] + 2, '-')
+               << "+";
+        }
+        os << "\n";
+    };
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &v = c < cells.size() ? cells[c] : "";
+            os << (c == 0 ? "|" : "") << " " << std::setw(
+                   static_cast<int>(widths[c]))
+               << (c == 0 ? std::left : std::right) << v << " |";
+        }
+        os << "\n";
+    };
+
+    print_rule();
+    print_cells(headers_);
+    print_rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            print_rule();
+        else
+            print_cells(row);
+    }
+    print_rule();
+}
+
+std::string
+TextTable::str() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TextTable::percent(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v * 100.0 << "%";
+    return os.str();
+}
+
+std::string
+TextTable::count(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace prefsim

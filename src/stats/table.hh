@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Plain-text table formatting for the bench harness and examples.
+ */
+
+#ifndef PREFSIM_STATS_TABLE_HH
+#define PREFSIM_STATS_TABLE_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace prefsim
+{
+
+/**
+ * A column-aligned text table.
+ *
+ * Numeric cells are produced with the num() helpers so precision is
+ * consistent across the reproduction tables.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a separator rule. */
+    void addRule();
+
+    /** Render with column alignment. */
+    void print(std::ostream &os) const;
+    std::string str() const;
+
+    /** Data rows added so far (separator rules are not counted). */
+    std::size_t numRows() const;
+
+    /** @name Cell formatting helpers. @{ */
+    static std::string num(double v, int precision = 2);
+    static std::string percent(double v, int precision = 1);
+    static std::string count(std::uint64_t v);
+    /** @} */
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_; ///< Empty row = rule.
+};
+
+} // namespace prefsim
+
+#endif // PREFSIM_STATS_TABLE_HH

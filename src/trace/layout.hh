@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared address-space layout conventions for the synthetic workloads.
+ *
+ * All workloads place shared structures in low regions and per-processor
+ * private data in disjoint high regions. Regions are 16 MB apart so they
+ * can never overlap; cache-set mapping only depends on the offsets within
+ * a region (the region bases are multiples of every cache size we model).
+ */
+
+#ifndef PREFSIM_TRACE_LAYOUT_HH
+#define PREFSIM_TRACE_LAYOUT_HH
+
+#include "common/types.hh"
+
+namespace prefsim
+{
+
+/** First shared data region (primary structure of each workload). */
+inline constexpr Addr kSharedBaseA = 0x0100'0000;
+/** Second shared data region. */
+inline constexpr Addr kSharedBaseB = 0x0200'0000;
+/** Third shared data region. */
+inline constexpr Addr kSharedBaseC = 0x0300'0000;
+
+/** Base of processor @p p's private region. */
+constexpr Addr
+privateBase(ProcId p)
+{
+    return 0x4000'0000 + static_cast<Addr>(p) * 0x0100'0000;
+}
+
+} // namespace prefsim
+
+#endif // PREFSIM_TRACE_LAYOUT_HH

@@ -1,0 +1,82 @@
+#include "trace/sharing_analysis.hh"
+
+#include <bit>
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+
+namespace prefsim
+{
+
+SharingAnalysis::SharingAnalysis(const ParallelTrace &trace,
+                                 unsigned line_bytes)
+    : line_bytes_(line_bytes)
+{
+    prefsim_assert(isPowerOf2(line_bytes), "line size must be a power of 2");
+    prefsim_assert(trace.numProcs() <= 32,
+                   "sharing analysis supports at most 32 processors");
+
+    // Pass 1: record which processors touch / write each line.
+    for (std::size_t p = 0; p < trace.numProcs(); ++p) {
+        const auto bit = std::uint32_t{1} << p;
+        for (const auto &r : trace.procs[p].records()) {
+            if (!isDemandRef(r.kind))
+                continue;
+            LineInfo &li = lines_[roundDown(r.addr, line_bytes_)];
+            li.toucher_mask |= bit;
+            if (r.kind == RecordKind::Write)
+                li.written = true;
+        }
+    }
+
+    // Classify lines.
+    for (const auto &[base, li] : lines_) {
+        const unsigned touchers = std::popcount(li.toucher_mask);
+        if (touchers <= 1)
+            ++num_private_;
+        else if (!li.written)
+            ++num_read_shared_;
+        else
+            write_shared_.insert(base);
+    }
+
+    // Pass 2: count references to write-shared lines.
+    for (std::size_t p = 0; p < trace.numProcs(); ++p) {
+        for (const auto &r : trace.procs[p].records()) {
+            if (!isDemandRef(r.kind))
+                continue;
+            ++total_refs_;
+            if (write_shared_.count(roundDown(r.addr, line_bytes_)))
+                ++write_shared_refs_;
+        }
+    }
+}
+
+SharingClass
+SharingAnalysis::classOf(Addr addr) const
+{
+    const Addr base = roundDown(addr, line_bytes_);
+    if (write_shared_.count(base))
+        return SharingClass::WriteShared;
+    auto it = lines_.find(base);
+    if (it == lines_.end() || std::popcount(it->second.toucher_mask) <= 1)
+        return SharingClass::Private;
+    return SharingClass::ReadShared;
+}
+
+bool
+SharingAnalysis::isWriteShared(Addr addr) const
+{
+    return write_shared_.count(roundDown(addr, line_bytes_)) != 0;
+}
+
+double
+SharingAnalysis::writeSharedRefFraction() const
+{
+    return total_refs_ == 0
+               ? 0.0
+               : static_cast<double>(write_shared_refs_) /
+                     static_cast<double>(total_refs_);
+}
+
+} // namespace prefsim

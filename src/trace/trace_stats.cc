@@ -1,0 +1,63 @@
+#include "trace/trace_stats.hh"
+
+#include "trace/sharing_analysis.hh"
+
+namespace prefsim
+{
+
+TraceStats
+computeTraceStats(const ParallelTrace &trace, unsigned line_bytes)
+{
+    TraceStats s;
+    s.numProcs = trace.numProcs();
+
+    std::uint64_t barrier_records = 0;
+    for (const auto &t : trace.procs) {
+        for (const auto &r : t.records()) {
+            switch (r.kind) {
+              case RecordKind::Instr:
+                s.totalInstrs += r.count;
+                break;
+              case RecordKind::Read:
+                ++s.totalReads;
+                ++s.totalInstrs;
+                break;
+              case RecordKind::Write:
+                ++s.totalWrites;
+                ++s.totalInstrs;
+                break;
+              case RecordKind::Prefetch:
+              case RecordKind::PrefetchExcl:
+                ++s.totalPrefetches;
+                ++s.totalInstrs;
+                break;
+              case RecordKind::LockAcquire:
+                ++s.lockAcquires;
+                ++s.totalInstrs;
+                break;
+              case RecordKind::LockRelease:
+                ++s.totalInstrs;
+                break;
+              case RecordKind::Barrier:
+                ++barrier_records;
+                ++s.totalInstrs;
+                break;
+            }
+        }
+    }
+    s.totalRefs = s.totalReads + s.totalWrites;
+    s.barriersCrossed =
+        s.numProcs ? barrier_records / s.numProcs : barrier_records;
+
+    const SharingAnalysis sharing(trace, line_bytes);
+    s.footprintBytes = sharing.footprintBytes();
+    s.sharedFootprintBytes =
+        (sharing.numReadSharedLines() + sharing.numWriteSharedLines()) *
+        line_bytes;
+    s.writeSharedFootprintBytes =
+        sharing.numWriteSharedLines() * line_bytes;
+    s.writeSharedRefFraction = sharing.writeSharedRefFraction();
+    return s;
+}
+
+} // namespace prefsim

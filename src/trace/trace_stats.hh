@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Descriptive statistics over a ParallelTrace (Table 1 support).
+ */
+
+#ifndef PREFSIM_TRACE_TRACE_STATS_HH
+#define PREFSIM_TRACE_TRACE_STATS_HH
+
+#include <cstdint>
+
+#include "trace/trace.hh"
+
+namespace prefsim
+{
+
+/** Aggregate characteristics of a parallel workload trace. */
+struct TraceStats
+{
+    std::uint64_t numProcs = 0;
+    std::uint64_t totalRefs = 0;       ///< Demand reads + writes.
+    std::uint64_t totalReads = 0;
+    std::uint64_t totalWrites = 0;
+    std::uint64_t totalInstrs = 0;     ///< Including ref/sync instructions.
+    std::uint64_t totalPrefetches = 0;
+    std::uint64_t lockAcquires = 0;
+    std::uint64_t barriersCrossed = 0; ///< Barrier records / numProcs.
+
+    std::uint64_t footprintBytes = 0;        ///< All touched lines.
+    std::uint64_t sharedFootprintBytes = 0;  ///< Lines touched by >= 2 procs.
+    std::uint64_t writeSharedFootprintBytes = 0;
+    double writeSharedRefFraction = 0.0;
+
+    double writeFraction() const
+    {
+        return totalRefs ? static_cast<double>(totalWrites) /
+                               static_cast<double>(totalRefs)
+                         : 0.0;
+    }
+};
+
+/** Compute TraceStats for @p trace with @p line_bytes cache lines. */
+TraceStats computeTraceStats(const ParallelTrace &trace, unsigned line_bytes);
+
+} // namespace prefsim
+
+#endif // PREFSIM_TRACE_TRACE_STATS_HH

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Public calibration constants ("tunables") of the five synthetic
+ * workload models.
+ *
+ * The default values are the result of calibrating the generators
+ * against the paper's quantitative anchors — the §4.2 processor
+ * utilisations, the Table 2 bus utilisations and the Table 3/4
+ * sharing structure (see DESIGN.md §4 and EXPERIMENTS.md). Override
+ * individual fields through WorkloadParams::tunables to explore other
+ * regimes; the bench harness and the golden tests pin the defaults.
+ */
+
+#ifndef PREFSIM_TRACE_TUNABLES_HH
+#define PREFSIM_TRACE_TUNABLES_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace prefsim
+{
+
+/** Calibration constants for the Topopt model. */
+struct TopoptTunables
+{
+    /** Shared cell array: cells of 16 B (4 words), two per line. */
+    unsigned numCells = 1024;
+    unsigned cellBytes = 16;
+    /** Probability a move's partner cell is drawn from the whole array
+     *  rather than the local neighbourhood. */
+    double remoteMoveProb = 0.02;
+    /** Cells per processor neighbourhood... */
+    unsigned neighbourhoodCells = 64;
+    /** ...spaced this many cells apart: neighbourhoods overlap by
+     *  half, and the odd spacing gives adjacent processors opposite
+     *  cell parities inside the overlap — each writes the *other* cell
+     *  of lines its neighbour is annealing: heavy false sharing. The
+     *  restructured layout (Jeremiassen-Eggers) uses disjoint,
+     *  line-aligned neighbourhoods instead. */
+    unsigned neighbourhoodSpacing = 61;
+    unsigned neighbourhoodSpacingRestructured = 64;
+    /** Moves per processor per step. */
+    unsigned movesPerStep = 48;
+    /** Fine-grain cell locks. */
+    unsigned numLocks = 256;
+    /** Hot private scratch references per move (resident). */
+    unsigned scratchRefs = 3;
+    /** Hot scratch placement: sets above the cell array's. */
+    Addr scratchOffset = 16 * 1024;
+    /** Conflict-walk window placement. */
+    Addr conflictOffset = 24 * 1024;
+    /** Probability a move touches the conflicting netlist-scratch walk
+     *  (recurring same-set tags: real conflict misses, which a victim
+     *  cache or associativity absorbs — paper 4.3). */
+    double conflictProb = 0.05;
+    /** Conflict probability in the restructured (blocked) layout. */
+    double conflictProbRestructured = 0.025;
+    /** Mean compute burst per move. */
+    double computeMean = 24.0;
+};
+
+/** Calibration constants for the Pverify model. */
+struct PverifyTunables
+{
+    /** Total gates in the circuit; descriptions are 4 B. */
+    unsigned numGates = 16384;
+    unsigned gateBytes = 4;
+    /** Gates fetched per work-queue pop: small batches interleave
+     *  result-line ownership finely (false sharing). */
+    unsigned batchGates = 4;
+    /** Result words are 4 B in the standard layout. */
+    unsigned resultBytes = 4;
+    /** Padded per-result size in the restructured layout. */
+    unsigned resultBytesRestructured = 8;
+    /** Fan-in result reads per gate. */
+    unsigned faninReads = 1;
+    /** Probability a fan-in comes from the processor's own recent gates
+     *  (a partitioned circuit keeps most fan-in local); the rest read
+     *  arbitrary recent results computed by others. */
+    double faninLocalProb = 0.90;
+    /** Fan-in sources are recent: at most this far behind. Small enough
+     *  that repeated reads hit unless the owner invalidated the line. */
+    unsigned faninWindow = 256;
+    /** Mean compute burst per gate. */
+    double computeMean = 30.0;
+    /** Private evaluation-stack references per gate (resident). */
+    unsigned stackRefs = 8;
+    /** Work-queue lock id. */
+    SyncId queueLock = 0;
+    /** Queue pops are amortised over this many owned batches (the real
+     *  program pops task chunks, not single tasks). */
+    unsigned popEveryBatches = 8;
+};
+
+/** Calibration constants for the LocusRoute model. */
+struct LocusTunables
+{
+    /** Grid geometry: width x height cells of 4 B, row-major. */
+    unsigned gridWidth = 256;
+    unsigned gridHeight = 256;
+    /** Cells touched per routed wire (horizontal run). */
+    unsigned wireCells = 40;
+    /** Cells written back on the chosen route. */
+    unsigned wireWrites = 16;
+    /** Probability a wire crosses into the neighbouring strip. */
+    double crossProb = 0.04;
+    /** Wires routed per processor per step. */
+    unsigned wiresPerStep = 48;
+    /** Start-column random-walk stride (spatial locality). */
+    unsigned walkStride = 24;
+    /** Private wire-list references per wire (hot, resident). */
+    unsigned privateRefs = 8;
+    /** Cold geometry lines read per wire (guaranteed non-sharing
+     *  misses: the wire/pin descriptors streamed from the netlist). */
+    unsigned coldRefs = 1;
+    /** Mean compute burst per wire segment. */
+    double computeMean = 8.0;
+};
+
+/** Calibration constants for the Mp3d model. */
+struct Mp3dTunables
+{
+    /** Particles per processor; records are 16 B (four words), two per
+     *  cache line. A slice is exactly one cache (32 KB) and covers
+     *  every set, so the per-step sweep behaves identically on every
+     *  processor (no structural load imbalance at barriers). */
+    unsigned particlesPerProc = 2048;
+    unsigned particleBytes = 16;
+    /** Every Nth particle updates its record (dirty-line / writeback
+     *  dial). */
+    unsigned particleWriteEvery = 6;
+    /** Space-cell array: 16 B cells, two per line, spanning every cache
+     *  set uniformly (32 KB). */
+    unsigned numCells = 2048;
+    unsigned cellBytes = 16;
+    /** Probability a particle interacts with a random (vs. local
+     *  cluster) cell — the knob for invalidation traffic. */
+    double remoteCellProb = 0.18;
+    /** Cells in the processor-local cluster. */
+    unsigned localClusterCells = 64;
+    /** Probability the cell interaction writes the cell. */
+    double cellWriteProb = 0.30;
+    /** Mean compute burst per particle (collision arithmetic). */
+    double computeMean = 16.0;
+    /** Private hot-scratch reads per particle. */
+    unsigned scratchRefs = 8;
+    /** Per-step load imbalance: each processor's particle count swings
+     *  +/- this fraction around the mean (particles migrate between
+     *  space regions in the real program, which is why Mp3d scales
+     *  poorly; the barrier wait this causes bounds how much prefetching
+     *  can win). */
+    double imbalance = 0.12;
+};
+
+/** Calibration constants for the Water model. */
+struct WaterTunables
+{
+    /** Molecules per processor. Record is 96 B (position/velocity/force),
+     *  three full cache lines. */
+    unsigned molsPerProc = 18;
+    unsigned molBytes = 96;
+    /** Partner interactions sampled per owned molecule per step. */
+    unsigned partnersPerMol = 12;
+    /** Mean compute burst per interaction. */
+    double computeMean = 8.0;
+    /** Probability an interaction accumulates into the partner's force
+     *  field (write sharing; lock protected). */
+    double partnerWriteProb = 0.010;
+    /** Probability an interaction touches a fresh cold line (guaranteed
+     *  non-sharing miss: boundary-data reload in the real program). */
+    double coldProb = 0.002;
+    /** Number of fine-grain molecule locks. */
+    unsigned numLocks = 64;
+    /** Private accumulator placement: past the molecule array's cache
+     *  sets so the two never conflict (offset within the private
+     *  region). */
+    Addr accumOffset = 28 * 1024;
+    /** Cold-stream window placement (sets above the accumulator). */
+    Addr coldOffset = 30 * 1024;
+};
+
+/** The per-workload tunables bundle carried by WorkloadParams. */
+struct WorkloadTunables
+{
+    TopoptTunables topopt;
+    PverifyTunables pverify;
+    LocusTunables locusroute;
+    Mp3dTunables mp3d;
+    WaterTunables water;
+};
+
+} // namespace prefsim
+
+#endif // PREFSIM_TRACE_TUNABLES_HH

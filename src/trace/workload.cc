@@ -1,0 +1,80 @@
+#include "trace/workload.hh"
+
+#include "common/log.hh"
+
+namespace prefsim
+{
+
+const std::vector<WorkloadKind> &
+allWorkloads()
+{
+    static const std::vector<WorkloadKind> kinds = {
+        WorkloadKind::Topopt, WorkloadKind::Pverify,
+        WorkloadKind::LocusRoute, WorkloadKind::Mp3d, WorkloadKind::Water};
+    return kinds;
+}
+
+std::string
+workloadName(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::Topopt:
+        return "topopt";
+      case WorkloadKind::Pverify:
+        return "pverify";
+      case WorkloadKind::LocusRoute:
+        return "locusroute";
+      case WorkloadKind::Mp3d:
+        return "mp3d";
+      case WorkloadKind::Water:
+        return "water";
+    }
+    prefsim_panic("unknown workload kind");
+}
+
+WorkloadKind
+workloadFromName(const std::string &name)
+{
+    for (auto kind : allWorkloads()) {
+        if (workloadName(kind) == name)
+            return kind;
+    }
+    prefsim_fatal("unknown workload name '", name,
+                  "' (expected topopt, pverify, locusroute, mp3d or water)");
+}
+
+bool
+hasRestructuredVariant(WorkloadKind kind)
+{
+    // The paper restructured Topopt and Pverify; "the other programs were
+    // not improved significantly by the current restructuring algorithm".
+    return kind == WorkloadKind::Topopt || kind == WorkloadKind::Pverify;
+}
+
+ParallelTrace
+generateWorkload(WorkloadKind kind, const WorkloadParams &params)
+{
+    if (params.numProcs < 2 || params.numProcs > 32)
+        prefsim_fatal("numProcs must be in [2, 32], got ", params.numProcs);
+    if (params.refsPerProc == 0)
+        prefsim_fatal("refsPerProc must be non-zero");
+    if (params.restructured && !hasRestructuredVariant(kind))
+        prefsim_fatal("workload '", workloadName(kind),
+                      "' has no restructured variant in the paper");
+
+    switch (kind) {
+      case WorkloadKind::Topopt:
+        return generateTopopt(params);
+      case WorkloadKind::Pverify:
+        return generatePverify(params);
+      case WorkloadKind::LocusRoute:
+        return generateLocusRoute(params);
+      case WorkloadKind::Mp3d:
+        return generateMp3d(params);
+      case WorkloadKind::Water:
+        return generateWater(params);
+    }
+    prefsim_panic("unknown workload kind");
+}
+
+} // namespace prefsim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Workload generator interface.
+ *
+ * The paper drove its simulations with MPTrace address traces of five
+ * coarse-grain parallel C programs running on a Sequent Symmetry. Those
+ * traces no longer exist, so prefsim synthesizes per-processor traces whose
+ * memory behaviour is calibrated to what the paper (and the SPLASH report)
+ * document for each program: footprint relative to the 32 KB cache, the
+ * read/write mix, the style and degree of write sharing, false-sharing
+ * content, and the resulting processor utilisation. See DESIGN.md §4.
+ */
+
+#ifndef PREFSIM_TRACE_WORKLOAD_HH
+#define PREFSIM_TRACE_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "trace/tunables.hh"
+
+namespace prefsim
+{
+
+/** The five applications of the paper's workload (Table 1). */
+enum class WorkloadKind
+{
+    Topopt,     ///< Parallel simulated annealing on VLSI cell placement.
+    Pverify,    ///< Work-queue Boolean circuit equivalence checking.
+    LocusRoute, ///< Standard-cell router over a shared cost grid.
+    Mp3d,       ///< Rarefied particle flow (particle + space-cell arrays).
+    Water       ///< Liquid-water molecular dynamics (O(n^2) forces).
+};
+
+/** All workload kinds, in the paper's Table 1 order. */
+const std::vector<WorkloadKind> &allWorkloads();
+
+/** Lower-case name used in reports ("topopt", "mp3d", ...). */
+std::string workloadName(WorkloadKind kind);
+
+/** Parse a workload name; fatal() on unknown names. */
+WorkloadKind workloadFromName(const std::string &name);
+
+/** True if a restructured (Jeremiassen-Eggers) variant exists (Tables 4/5). */
+bool hasRestructuredVariant(WorkloadKind kind);
+
+/**
+ * Generation parameters common to all workloads.
+ */
+struct WorkloadParams
+{
+    /** Number of simulated processes (paper's Table 1; see DESIGN.md). */
+    unsigned numProcs = 8;
+    /** Approximate demand references to generate per processor. */
+    std::uint64_t refsPerProc = 150000;
+    /** RNG seed; traces are bit-reproducible for a given seed. */
+    std::uint64_t seed = 1;
+    /**
+     * Apply the shared-data restructuring transform (group-and-pad
+     * per-processor data to cache-line boundaries; Topopt additionally
+     * blocks its scratch accesses). Only Topopt and Pverify support it,
+     * matching the paper.
+     */
+    bool restructured = false;
+    /**
+     * Scale factor on all data-structure sizes. 1.0 reproduces the paper's
+     * "one order of magnitude below real" sizing against a 32 KB cache.
+     */
+    double dataScale = 1.0;
+    /**
+     * Per-workload calibration constants (see trace/tunables.hh).
+     * Defaults reproduce the paper's anchors; override to explore.
+     */
+    WorkloadTunables tunables;
+};
+
+/**
+ * Generate the trace for @p kind with @p params.
+ *
+ * fatal()s if @p params requests a restructured variant of a workload
+ * without one, or an unsupported processor count (2..32).
+ */
+ParallelTrace generateWorkload(WorkloadKind kind,
+                               const WorkloadParams &params);
+
+/** @name Individual generators (exposed for tests and examples). @{ */
+ParallelTrace generateTopopt(const WorkloadParams &params);
+ParallelTrace generatePverify(const WorkloadParams &params);
+ParallelTrace generateLocusRoute(const WorkloadParams &params);
+ParallelTrace generateMp3d(const WorkloadParams &params);
+ParallelTrace generateWater(const WorkloadParams &params);
+/** @} */
+
+} // namespace prefsim
+
+#endif // PREFSIM_TRACE_WORKLOAD_HH

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Unit tests for the data cache mechanism: frames, LRU associativity,
+ * MSHRs, the prefetched-but-lost side table, and the victim buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/data_cache.hh"
+
+namespace prefsim
+{
+namespace
+{
+
+const CacheGeometry kGeom = CacheGeometry::paperDefault();
+
+TEST(CacheFrame, BeginResidencyResets)
+{
+    CacheFrame f;
+    f.accessMask = 0xff;
+    f.usedSinceFill = true;
+    f.invalFalseSharing = true;
+    f.beginResidency(0x1000, LineState::Exclusive, true);
+    EXPECT_EQ(f.tag, 0x1000u);
+    EXPECT_EQ(f.state, LineState::Exclusive);
+    EXPECT_EQ(f.accessMask, 0u);
+    EXPECT_TRUE(f.broughtByPrefetch);
+    EXPECT_FALSE(f.usedSinceFill);
+    EXPECT_FALSE(f.invalFalseSharing);
+}
+
+TEST(LineState, Predicates)
+{
+    EXPECT_TRUE(isValid(LineState::Shared));
+    EXPECT_TRUE(isValid(LineState::Exclusive));
+    EXPECT_TRUE(isValid(LineState::Modified));
+    EXPECT_FALSE(isValid(LineState::Invalid));
+    EXPECT_TRUE(isPrivate(LineState::Exclusive));
+    EXPECT_TRUE(isPrivate(LineState::Modified));
+    EXPECT_FALSE(isPrivate(LineState::Shared));
+    EXPECT_EQ(lineStateName(LineState::Invalid), "I");
+    EXPECT_EQ(lineStateName(LineState::Modified), "M");
+}
+
+TEST(DataCache, InstallAndResident)
+{
+    DataCache c(0, kGeom);
+    EXPECT_FALSE(c.resident(0x1000));
+    EvictedLine ev;
+    c.install(0x1000, LineState::Exclusive, false, ev);
+    EXPECT_FALSE(ev.dirty);
+    EXPECT_TRUE(c.resident(0x1000));
+    EXPECT_TRUE(c.resident(0x101c));
+    EXPECT_EQ(c.stateOf(0x1000), LineState::Exclusive);
+    EXPECT_EQ(c.validLines(), 1u);
+    EXPECT_NE(c.findFrame(0x1000), nullptr);
+    EXPECT_EQ(c.findFrame(0x2000), nullptr);
+}
+
+TEST(DataCache, EvictionOfCleanVictim)
+{
+    DataCache c(0, kGeom);
+    EvictedLine ev;
+    c.install(0x0, LineState::Shared, false, ev);
+    c.install(kGeom.sizeBytes(), LineState::Shared, false, ev);
+    EXPECT_FALSE(ev.dirty);
+    EXPECT_FALSE(c.resident(0x0));
+    EXPECT_TRUE(c.resident(kGeom.sizeBytes()));
+}
+
+TEST(DataCache, EvictionOfDirtyVictimRequestsWriteback)
+{
+    DataCache c(0, kGeom);
+    EvictedLine ev;
+    c.install(0x0, LineState::Modified, false, ev);
+    c.install(kGeom.sizeBytes(), LineState::Shared, false, ev);
+    EXPECT_TRUE(ev.dirty);
+    EXPECT_EQ(ev.lineBase, 0x0u);
+}
+
+TEST(DataCache, ReinstallSameLineReusesFrame)
+{
+    DataCache c(0, kGeom);
+    EvictedLine ev;
+    CacheFrame &f1 = c.install(0x1000, LineState::Shared, false, ev);
+    f1.state = LineState::Invalid; // Remote invalidation.
+    CacheFrame &f2 = c.install(0x1000, LineState::Modified, false, ev);
+    EXPECT_EQ(&f1, &f2);
+    EXPECT_FALSE(ev.dirty);
+    EXPECT_EQ(c.stateOf(0x1000), LineState::Modified);
+}
+
+TEST(DataCache, ReplacingPrefetchedUnusedMarksLost)
+{
+    DataCache c(0, kGeom);
+    EvictedLine ev;
+    c.install(0x0, LineState::Shared, /*by_prefetch=*/true, ev);
+    EXPECT_EQ(c.prefetchLostEntries(), 0u);
+    c.install(kGeom.sizeBytes(), LineState::Shared, false, ev);
+    EXPECT_EQ(c.prefetchLostEntries(), 1u);
+    EXPECT_TRUE(c.consumePrefetchLost(0x0));
+    EXPECT_EQ(c.prefetchLostEntries(), 0u);
+    EXPECT_FALSE(c.consumePrefetchLost(0x0));
+}
+
+TEST(DataCache, ReplacingUsedPrefetchIsNotLost)
+{
+    DataCache c(0, kGeom);
+    EvictedLine ev;
+    CacheFrame &f = c.install(0x0, LineState::Shared, true, ev);
+    f.usedSinceFill = true;
+    c.install(kGeom.sizeBytes(), LineState::Shared, false, ev);
+    EXPECT_EQ(c.prefetchLostEntries(), 0u);
+}
+
+TEST(DataCache, MshrAllocateFindRelease)
+{
+    DataCache c(0, kGeom);
+    EXPECT_EQ(c.findMshr(0x1000), nullptr);
+    Mshr &m = c.allocateMshr(0x1000, LineState::Shared, false);
+    m.demandWaiting = true;
+    EXPECT_NE(c.findMshr(0x1004), nullptr); // Same line.
+    EXPECT_EQ(c.findMshr(0x2000), nullptr);
+
+    const Mshr released = c.releaseMshr(0x1000);
+    EXPECT_TRUE(released.demandWaiting);
+    EXPECT_EQ(c.findMshr(0x1000), nullptr);
+}
+
+TEST(DataCache, PrefetchMshrLimit)
+{
+    DataCache c(0, kGeom, /*max_prefetch_mshrs=*/2);
+    EXPECT_TRUE(c.prefetchMshrAvailable());
+    c.allocateMshr(0x0, LineState::Shared, true);
+    EXPECT_TRUE(c.prefetchMshrAvailable());
+    c.allocateMshr(0x20, LineState::Shared, true);
+    EXPECT_FALSE(c.prefetchMshrAvailable());
+    // Demand MSHRs are not limited by the prefetch buffer.
+    c.allocateMshr(0x40, LineState::Shared, false);
+    EXPECT_EQ(c.numMshrs(), 3u);
+    // Releasing a prefetch frees a slot.
+    c.releaseMshr(0x0);
+    EXPECT_TRUE(c.prefetchMshrAvailable());
+}
+
+TEST(DataCache, SixteenDeepDefaultMatchesPaper)
+{
+    DataCache c(0, kGeom);
+    EXPECT_EQ(c.maxPrefetchMshrs(), 16u);
+}
+
+TEST(DataCacheDeathTest, DuplicateMshrPanics)
+{
+    DataCache c(0, kGeom);
+    c.allocateMshr(0x1000, LineState::Shared, false);
+    EXPECT_DEATH(c.allocateMshr(0x1000, LineState::Shared, false),
+                 "duplicate MSHR");
+}
+
+TEST(DataCacheDeathTest, ReleasingMissingMshrPanics)
+{
+    DataCache c(0, kGeom);
+    EXPECT_DEATH(c.releaseMshr(0x1000), "no MSHR");
+}
+
+TEST(DataCache, DistinctLinesSameSetShareFrame)
+{
+    DataCache c(0, kGeom);
+    EvictedLine ev;
+    c.install(0x0, LineState::Shared, false, ev);
+    // A different line in the same set displaces it (direct-mapped).
+    const Addr alias = 3 * Addr{kGeom.sizeBytes()};
+    c.install(alias, LineState::Modified, false, ev);
+    EXPECT_FALSE(c.resident(0x0));
+    EXPECT_EQ(c.stateOf(alias), LineState::Modified);
+    EXPECT_EQ(c.validLines(), 1u);
+}
+
+// --- Set associativity (the paper's 4.3 suggestion). ---
+
+TEST(AssocCache, TwoWaysCoResideConflictingLines)
+{
+    const CacheGeometry g(32 * 1024, 32, 2);
+    EXPECT_EQ(g.numSets(), 512u);
+    DataCache c(0, g);
+    EvictedLine ev;
+    c.install(0x0, LineState::Shared, false, ev);
+    c.install(32 * 1024 / 2, LineState::Shared, false, ev); // Same set.
+    EXPECT_TRUE(c.resident(0x0));
+    EXPECT_TRUE(c.resident(32 * 1024 / 2));
+    EXPECT_EQ(c.validLines(), 2u);
+}
+
+TEST(AssocCache, LruReplacementWithinSet)
+{
+    const CacheGeometry g(32 * 1024, 32, 2);
+    DataCache c(0, g);
+    const Addr way_stride = g.numSets() * g.lineBytes(); // 16 KB
+    EvictedLine ev;
+    c.install(0 * way_stride, LineState::Shared, false, ev);
+    c.install(1 * way_stride, LineState::Shared, false, ev);
+    c.touch(0 * way_stride); // Line 0 becomes MRU.
+    c.install(2 * way_stride, LineState::Shared, false, ev);
+    EXPECT_TRUE(c.resident(0 * way_stride));
+    EXPECT_FALSE(c.resident(1 * way_stride)); // LRU evicted.
+    EXPECT_TRUE(c.resident(2 * way_stride));
+}
+
+TEST(AssocCache, InvalidWayPreferredVictim)
+{
+    const CacheGeometry g(32 * 1024, 32, 2);
+    DataCache c(0, g);
+    const Addr way_stride = g.numSets() * g.lineBytes();
+    EvictedLine ev;
+    c.install(0 * way_stride, LineState::Shared, false, ev);
+    CacheFrame &f = c.install(1 * way_stride, LineState::Shared, false, ev);
+    f.state = LineState::Invalid; // Remote invalidation.
+    c.touch(0 * way_stride);
+    c.install(2 * way_stride, LineState::Shared, false, ev);
+    // The invalid way was replaced even though the other was older.
+    EXPECT_TRUE(c.resident(0 * way_stride));
+    EXPECT_TRUE(c.resident(2 * way_stride));
+}
+
+// --- Victim buffer (Jouppi; the paper's other 4.3 suggestion). ---
+
+TEST(VictimCache, EvicteeLandsInBuffer)
+{
+    DataCache c(0, kGeom, 16, /*victim_entries=*/2);
+    EvictedLine ev;
+    c.install(0x0, LineState::Modified, false, ev);
+    c.install(kGeom.sizeBytes(), LineState::Shared, false, ev);
+    // The dirty evictee moved to the victim buffer: no writeback yet.
+    EXPECT_FALSE(ev.dirty);
+    EXPECT_FALSE(c.resident(0x0));
+    EXPECT_NE(c.findVictim(0x0), nullptr);
+    EXPECT_EQ(c.victimValidLines(), 1u);
+    EXPECT_EQ(c.stateAnywhere(0x0), LineState::Modified);
+}
+
+TEST(VictimCache, SwapRestoresLineAndDisplacesOccupant)
+{
+    DataCache c(0, kGeom, 16, 2);
+    EvictedLine ev;
+    c.install(0x0, LineState::Modified, false, ev);
+    c.install(kGeom.sizeBytes(), LineState::Shared, false, ev);
+
+    CacheFrame *f = c.swapFromVictim(0x0);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->state, LineState::Modified);
+    EXPECT_TRUE(c.resident(0x0));
+    // The previous occupant swapped into the buffer.
+    EXPECT_FALSE(c.resident(kGeom.sizeBytes()));
+    EXPECT_NE(c.findVictim(kGeom.sizeBytes()), nullptr);
+    // A swap displaces nothing: buffer population is unchanged.
+    EXPECT_EQ(c.victimValidLines(), 1u);
+}
+
+TEST(VictimCache, BufferOverflowReportsDirtyEvictee)
+{
+    DataCache c(0, kGeom, 16, 1);
+    EvictedLine ev;
+    c.install(0x0, LineState::Modified, false, ev);
+    c.install(kGeom.sizeBytes(), LineState::Shared, false, ev);
+    EXPECT_FALSE(ev.dirty); // Dirty line parked in the buffer.
+    // Another eviction into the 1-entry buffer pushes it out.
+    c.install(2 * Addr{kGeom.sizeBytes()}, LineState::Shared, false, ev);
+    EXPECT_TRUE(ev.dirty);
+    EXPECT_EQ(ev.lineBase, 0x0u);
+    EXPECT_EQ(c.findVictim(0x0), nullptr);
+}
+
+TEST(VictimCache, UnusedPrefetchPushedOutIsLost)
+{
+    DataCache c(0, kGeom, 16, 1);
+    EvictedLine ev;
+    c.install(0x0, LineState::Shared, /*by_prefetch=*/true, ev);
+    c.install(kGeom.sizeBytes(), LineState::Shared, false, ev);
+    EXPECT_EQ(c.prefetchLostEntries(), 0u); // Still recoverable.
+    c.install(2 * Addr{kGeom.sizeBytes()}, LineState::Shared, false, ev);
+    EXPECT_EQ(c.prefetchLostEntries(), 1u); // Gone for good.
+}
+
+TEST(VictimCache, MissWhenNotPresent)
+{
+    DataCache c(0, kGeom, 16, 2);
+    EXPECT_EQ(c.swapFromVictim(0x1234), nullptr);
+    EXPECT_EQ(c.findVictim(0x1234), nullptr);
+    EXPECT_EQ(c.victimEntries(), 2u);
+}
+
+TEST(VictimCache, InvalidatedEntryDoesNotSwap)
+{
+    DataCache c(0, kGeom, 16, 2);
+    EvictedLine ev;
+    c.install(0x0, LineState::Shared, false, ev);
+    c.install(kGeom.sizeBytes(), LineState::Shared, false, ev);
+    CacheFrame *v = c.findVictim(0x0);
+    ASSERT_NE(v, nullptr);
+    v->state = LineState::Invalid; // Remote invalidation via snoop.
+    EXPECT_EQ(c.swapFromVictim(0x0), nullptr);
+    EXPECT_EQ(c.stateAnywhere(0x0), LineState::Invalid);
+}
+
+} // namespace
+} // namespace prefsim

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the common library: integer math, RNG, cache geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/cache_geometry.hh"
+#include "common/intmath.hh"
+#include "common/rng.hh"
+
+namespace prefsim
+{
+namespace
+{
+
+TEST(IntMath, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ULL << 40));
+    EXPECT_FALSE(isPowerOf2((1ULL << 40) + 1));
+}
+
+TEST(IntMath, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(32), 5u);
+    EXPECT_EQ(floorLog2(33), 5u);
+    EXPECT_EQ(floorLog2(1ULL << 63), 63u);
+}
+
+TEST(IntMath, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+}
+
+TEST(IntMath, RoundUpDown)
+{
+    EXPECT_EQ(roundUp(0, 32), 0u);
+    EXPECT_EQ(roundUp(1, 32), 32u);
+    EXPECT_EQ(roundUp(32, 32), 32u);
+    EXPECT_EQ(roundDown(31, 32), 0u);
+    EXPECT_EQ(roundDown(32, 32), 32u);
+    EXPECT_EQ(roundDown(63, 32), 32u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng r(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(11);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.range(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        lo |= v == 5;
+        hi |= v == 8;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdges)
+{
+    Rng r(17);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+        EXPECT_FALSE(r.chance(-1.0));
+        EXPECT_TRUE(r.chance(2.0));
+    }
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng r(19);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Rng, GeometricPositiveWithMean)
+{
+    Rng r(23);
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const auto v = r.geometric(8.0);
+        EXPECT_GE(v, 1u);
+        sum += v;
+    }
+    EXPECT_NEAR(static_cast<double>(sum) / 20000.0, 8.0, 0.5);
+}
+
+TEST(Rng, GeometricDegenerateMean)
+{
+    Rng r(29);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(r.geometric(0.5), 1u);
+        EXPECT_EQ(r.geometric(1.0), 1u);
+    }
+}
+
+TEST(CacheGeometry, PaperDefault)
+{
+    const CacheGeometry g = CacheGeometry::paperDefault();
+    EXPECT_EQ(g.sizeBytes(), 32u * 1024);
+    EXPECT_EQ(g.lineBytes(), 32u);
+    EXPECT_EQ(g.numSets(), 1024u);
+    EXPECT_EQ(g.wordsPerLine(), 8u);
+}
+
+TEST(CacheGeometry, LineBase)
+{
+    const CacheGeometry g(32 * 1024, 32);
+    EXPECT_EQ(g.lineBase(0), 0u);
+    EXPECT_EQ(g.lineBase(31), 0u);
+    EXPECT_EQ(g.lineBase(32), 32u);
+    EXPECT_EQ(g.lineBase(0x12345678), 0x12345660u);
+}
+
+TEST(CacheGeometry, SetIndexWraps)
+{
+    const CacheGeometry g(32 * 1024, 32);
+    EXPECT_EQ(g.setIndex(0), 0u);
+    EXPECT_EQ(g.setIndex(32), 1u);
+    EXPECT_EQ(g.setIndex(32 * 1024), 0u);      // One full cache later.
+    EXPECT_EQ(g.setIndex(32 * 1024 + 32), 1u);
+    EXPECT_EQ(g.setIndex(1023 * 32), 1023u);
+}
+
+TEST(CacheGeometry, WordInLine)
+{
+    const CacheGeometry g(32 * 1024, 32);
+    EXPECT_EQ(g.wordInLine(0), 0u);
+    EXPECT_EQ(g.wordInLine(4), 1u);
+    EXPECT_EQ(g.wordInLine(28), 7u);
+    EXPECT_EQ(g.wordInLine(35), 0u);
+}
+
+TEST(CacheGeometry, AlternateConfigurations)
+{
+    // The paper simulated larger caches and block sizes too.
+    const CacheGeometry big(128 * 1024, 64);
+    EXPECT_EQ(big.numSets(), 2048u);
+    EXPECT_EQ(big.wordsPerLine(), 16u);
+    const CacheGeometry tiny(1024, 16);
+    EXPECT_EQ(tiny.numSets(), 64u);
+}
+
+TEST(CacheGeometryDeathTest, RejectsBadConfigs)
+{
+    EXPECT_EXIT(CacheGeometry(1000, 32), testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(CacheGeometry(1024, 48), testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(CacheGeometry(1024, 2), testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(CacheGeometry(32, 64), testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace prefsim

@@ -1,0 +1,568 @@
+/**
+ * @file
+ * Tests for the paper-suggested extensions: read-then-write exclusive
+ * prefetching (§4.3), the non-snooping-buffer restriction (§3.1),
+ * set-associative caches and the victim cache (§4.3), and the
+ * conflict-stream generator primitive behind the ablations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/inserter.hh"
+#include "sim/simulator.hh"
+#include "trace/builder.hh"
+#include "trace/workload.hh"
+
+namespace prefsim
+{
+namespace
+{
+
+const CacheGeometry kGeom = CacheGeometry::paperDefault();
+
+ParallelTrace
+singleProc(Trace t)
+{
+    ParallelTrace pt;
+    pt.name = "t";
+    pt.procs.push_back(std::move(t));
+    return pt;
+}
+
+// --- Read-then-write exclusive prefetch (4.3). ---
+
+StrategyParams
+rtwParams()
+{
+    StrategyParams p = strategyParams(Strategy::EXCL);
+    p.exclusiveReadThenWrite = true;
+    return p;
+}
+
+TEST(ReadThenWrite, ReadSoonWrittenPrefetchesExclusive)
+{
+    Trace t;
+    t.appendInstrs(300);
+    t.append(TraceRecord::read(0x1000));
+    t.appendInstrs(50);
+    t.append(TraceRecord::write(0x1008)); // Same line, 52 cycles later.
+    const AnnotatedTrace out =
+        annotateTrace(singleProc(std::move(t)), rtwParams(), kGeom);
+    EXPECT_EQ(out.stats.rtwExclusive, 1u);
+    unsigned excl = 0;
+    for (const auto &r : out.trace.procs[0].records())
+        excl += r.kind == RecordKind::PrefetchExcl ? 1 : 0;
+    EXPECT_EQ(excl, 1u);
+}
+
+TEST(ReadThenWrite, DistantWriteStaysShared)
+{
+    Trace t;
+    t.appendInstrs(300);
+    t.append(TraceRecord::read(0x1000));
+    t.appendInstrs(5000); // Far beyond the 200-cycle window.
+    t.append(TraceRecord::write(0x1008));
+    const AnnotatedTrace out =
+        annotateTrace(singleProc(std::move(t)), rtwParams(), kGeom);
+    EXPECT_EQ(out.stats.rtwExclusive, 0u);
+}
+
+TEST(ReadThenWrite, InterveningReadBlocksDetection)
+{
+    // The *next* access to the line is a read, so ownership is not
+    // fetched early (the line may be shared meanwhile).
+    Trace t;
+    t.appendInstrs(300);
+    t.append(TraceRecord::read(0x1000));
+    t.appendInstrs(20);
+    t.append(TraceRecord::read(0x1004));
+    t.appendInstrs(20);
+    t.append(TraceRecord::write(0x1008));
+    const AnnotatedTrace out =
+        annotateTrace(singleProc(std::move(t)), rtwParams(), kGeom);
+    EXPECT_EQ(out.stats.rtwExclusive, 0u);
+}
+
+TEST(ReadThenWrite, RemovesUpgradeOperations)
+{
+    // One processor: read a line, then write it shortly after. With a
+    // shared prefetch the line arrives E... so use TWO processors so
+    // the line arrives Shared and the write needs an upgrade.
+    auto build = [](const StrategyParams &sp) {
+        Trace a;
+        a.appendInstrs(300);
+        a.append(TraceRecord::read(0x1000));
+        a.appendInstrs(40);
+        a.append(TraceRecord::write(0x1000));
+        Trace b;
+        b.append(TraceRecord::read(0x1000)); // Keeps a copy around.
+        b.appendInstrs(2000);
+        ParallelTrace pt;
+        pt.name = "rtw";
+        pt.procs.push_back(std::move(a));
+        pt.procs.push_back(std::move(b));
+        return annotateTrace(pt, sp, kGeom);
+    };
+    SimConfig cfg;
+    cfg.warmupEpisodes = 0;
+
+    const SimStats with_shared =
+        simulate(build(strategyParams(Strategy::PREF)).trace, cfg);
+    const SimStats with_rtw = simulate(build(rtwParams()).trace, cfg);
+    EXPECT_GT(with_shared.totalUpgrades(), 0u);
+    EXPECT_EQ(with_rtw.totalUpgrades(), 0u);
+}
+
+// --- Non-snooping buffer restriction (3.1). ---
+
+TEST(PrivateOnly, SharedCandidatesDropped)
+{
+    ParallelTrace pt;
+    pt.name = "t";
+    pt.procs.resize(2);
+    Trace &a = pt.procs[0];
+    a.appendInstrs(300);
+    a.append(TraceRecord::read(0x1000)); // Written by proc 1: shared.
+    a.appendInstrs(300);
+    a.append(TraceRecord::read(0x8000)); // Private.
+    pt.procs[1].append(TraceRecord::write(0x1004));
+
+    StrategyParams sp = strategyParams(Strategy::PREF);
+    sp.privateLinesOnly = true;
+    const AnnotatedTrace out = annotateTrace(pt, sp, kGeom);
+    // Both processors' candidates for the shared line are dropped.
+    EXPECT_EQ(out.stats.droppedShared, 2u);
+    EXPECT_EQ(out.stats.inserted, 1u);
+    for (const auto &r : out.trace.procs[0].records()) {
+        if (isPrefetch(r.kind)) {
+            EXPECT_EQ(kGeom.lineBase(r.addr), 0x8000u);
+        }
+    }
+}
+
+TEST(PrivateOnly, ReadSharedAlsoDropped)
+{
+    // A non-snooping buffer cannot hold *any* data another processor
+    // touches: even read-shared lines are excluded (conservative, as
+    // 3.1's "unless it can be guaranteed not to be written" demands).
+    ParallelTrace pt;
+    pt.name = "t";
+    pt.procs.resize(2);
+    pt.procs[0].appendInstrs(300);
+    pt.procs[0].append(TraceRecord::read(0x1000));
+    pt.procs[1].append(TraceRecord::read(0x1004));
+
+    StrategyParams sp = strategyParams(Strategy::PREF);
+    sp.privateLinesOnly = true;
+    const AnnotatedTrace out = annotateTrace(pt, sp, kGeom);
+    EXPECT_EQ(out.stats.droppedShared, 2u);
+    EXPECT_EQ(out.stats.inserted, 0u);
+}
+
+// --- Associativity + victim cache through the full simulator. ---
+
+Trace
+pingPongTrace(unsigned rounds)
+{
+    // Two lines aliasing to the same set, touched alternately: the
+    // canonical conflict pattern.
+    Trace t;
+    for (unsigned i = 0; i < rounds; ++i) {
+        t.append(TraceRecord::read(0x0));
+        t.appendInstrs(3);
+        t.append(TraceRecord::read(Addr{kGeom.sizeBytes()}));
+        t.appendInstrs(3);
+    }
+    return t;
+}
+
+TEST(Organisation, DirectMappedThrashes)
+{
+    SimConfig cfg;
+    cfg.warmupEpisodes = 0;
+    const SimStats s = simulate(singleProc(pingPongTrace(20)), cfg);
+    EXPECT_GE(s.totalMisses().nonSharing(), 38u); // ~2 per round.
+}
+
+TEST(Organisation, TwoWayAbsorbsThePingPong)
+{
+    SimConfig cfg;
+    cfg.warmupEpisodes = 0;
+    cfg.geometry = CacheGeometry(32 * 1024, 32, 2);
+    const SimStats s = simulate(singleProc(pingPongTrace(20)), cfg);
+    EXPECT_LE(s.totalMisses().nonSharing(), 2u); // Cold misses only.
+}
+
+TEST(Organisation, VictimCacheAbsorbsThePingPong)
+{
+    SimConfig cfg;
+    cfg.warmupEpisodes = 0;
+    cfg.victimEntries = 4;
+    const SimStats s = simulate(singleProc(pingPongTrace(20)), cfg);
+    EXPECT_LE(s.totalMisses().nonSharing(), 2u);
+    std::uint64_t victim_hits = 0;
+    for (const auto &p : s.procs)
+        victim_hits += p.victimHits;
+    EXPECT_GE(victim_hits, 38u);
+    // Victim hits cost one extra cycle, far less than a bus fetch
+    // (two cold fetches + ~12 cycles per ping-pong round).
+    EXPECT_LT(s.cycles, 480u);
+}
+
+TEST(Organisation, VictimEntriesAreSnooped)
+{
+    // Proc 0 evicts a line into its victim buffer; proc 1 then writes
+    // that line. The victim entry must be invalidated — a later victim
+    // "hit" would otherwise return stale data.
+    Trace a;
+    a.append(TraceRecord::read(0x0));
+    a.append(TraceRecord::read(Addr{kGeom.sizeBytes()})); // Evict 0x0.
+    a.appendInstrs(600); // Let proc 1's write land.
+    a.append(TraceRecord::read(0x0));
+    Trace b;
+    b.appendInstrs(250);
+    b.append(TraceRecord::write(0x0));
+
+    ParallelTrace pt;
+    pt.name = "snoop-victim";
+    pt.procs.push_back(std::move(a));
+    pt.procs.push_back(std::move(b));
+
+    SimConfig cfg;
+    cfg.warmupEpisodes = 0;
+    cfg.victimEntries = 4;
+    Simulator sim(pt, cfg);
+    const SimStats s = sim.run();
+    // Proc 0's re-read had to refetch (invalidation miss), not swap.
+    EXPECT_GE(s.procs[0].misses.invalidation(), 1u);
+    EXPECT_TRUE(sim.memory().checkLineInvariant(0x0));
+}
+
+TEST(Organisation, AssociativeOracleMatchesAssociativeCache)
+{
+    // With a 2-way cache the oracle must not predict the ping-pong as
+    // misses — otherwise it would flood useless prefetches.
+    const CacheGeometry g2(32 * 1024, 32, 2);
+    const AnnotatedTrace out =
+        annotateTrace(singleProc(pingPongTrace(20)), Strategy::PREF, g2);
+    EXPECT_LE(out.stats.inserted, 2u);
+}
+
+// --- ConflictStream generator primitive. ---
+
+TEST(ConflictStreamTest, AliasesSameSetsAcrossTags)
+{
+    ConflictStream cs(0x4000'0000, 4, 2);
+    std::vector<Addr> first_round, second_round;
+    for (int i = 0; i < 4; ++i)
+        first_round.push_back(cs.next());
+    for (int i = 0; i < 4; ++i)
+        second_round.push_back(cs.next());
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(kGeom.setIndex(first_round[i]),
+                  kGeom.setIndex(second_round[i]));
+        EXPECT_NE(kGeom.lineBase(first_round[i]),
+                  kGeom.lineBase(second_round[i]));
+    }
+    // Round 3 revisits round 1's lines (tags cycle).
+    EXPECT_EQ(cs.next(), first_round[0]);
+}
+
+TEST(ConflictStreamTest, ThrashesDirectMappedOnly)
+{
+    ConflictStream cs(0x4000'0000, 4, 2);
+    Trace t;
+    for (int i = 0; i < 64; ++i) {
+        t.append(TraceRecord::read(cs.next()));
+        t.appendInstrs(2);
+    }
+    SimConfig dm;
+    dm.warmupEpisodes = 0;
+    const SimStats s_dm = simulate(singleProc(Trace(t)), dm);
+    SimConfig assoc = dm;
+    assoc.geometry = CacheGeometry(32 * 1024, 32, 2);
+    const SimStats s_2w = simulate(singleProc(Trace(t)), assoc);
+
+    EXPECT_GE(s_dm.totalMisses().nonSharing(), 60u);
+    EXPECT_LE(s_2w.totalMisses().nonSharing(), 8u);
+}
+
+
+// --- Non-snooping prefetch data buffer (3.1, Klaiber-Levy style). ---
+
+TEST(PrefetchDataBuffer, ParkAndPromote)
+{
+    // A prefetched line parks beside the cache and promotes on use.
+    Trace t;
+    t.append(TraceRecord::prefetch(0x1000));
+    t.appendInstrs(200);
+    t.append(TraceRecord::read(0x1004));
+    ParallelTrace pt = singleProc(std::move(t));
+
+    SimConfig cfg;
+    cfg.warmupEpisodes = 0;
+    cfg.prefetchDataBufferEntries = 8;
+    const SimStats s = simulate(pt, cfg);
+    EXPECT_EQ(s.totalMisses().cpu(), 0u);
+    EXPECT_EQ(s.procs[0].prefetchBufferHits, 1u);
+    // Park + promote: the line never filled the cache early, so the
+    // access pays the one-cycle promotion penalty.
+    EXPECT_EQ(s.cycles, 205u);
+}
+
+TEST(PrefetchDataBuffer, ParkedLinesDoNotDisturbTheCache)
+{
+    // The buffered prefetch must not evict the hot line it aliases
+    // with — the whole point of a separate buffer.
+    Trace t;
+    t.append(TraceRecord::read(0x0));          // Hot line, set 0.
+    t.append(TraceRecord::prefetch(32 * 1024)); // Same set, parked.
+    t.appendInstrs(200);
+    t.append(TraceRecord::read(0x4));           // Still a hit.
+    SimConfig cfg;
+    cfg.warmupEpisodes = 0;
+    cfg.prefetchDataBufferEntries = 8;
+    const SimStats s = simulate(singleProc(std::move(t)), cfg);
+    EXPECT_EQ(s.totalMisses().cpu(), 1u); // Only the cold miss on 0x0.
+}
+
+TEST(PrefetchDataBuffer, RemoteWriteIsCountedAndNeutralised)
+{
+    // Proc 0 parks a shared line (a compiler mistake under 3.1's
+    // rules); proc 1 writes it. The simulator must count the hazard
+    // and must NOT serve the stale parked copy.
+    Trace a;
+    a.append(TraceRecord::prefetch(0x1000));
+    a.appendInstrs(500);
+    a.append(TraceRecord::read(0x1000));
+    Trace b;
+    b.appendInstrs(150);
+    b.append(TraceRecord::write(0x1000));
+    ParallelTrace pt;
+    pt.name = "pdb-hazard";
+    pt.procs.push_back(std::move(a));
+    pt.procs.push_back(std::move(b));
+
+    SimConfig cfg;
+    cfg.warmupEpisodes = 0;
+    cfg.prefetchDataBufferEntries = 8;
+    Simulator sim(pt, cfg);
+    const SimStats s = sim.run();
+    EXPECT_EQ(s.procs[0].bufferProtectionEvents, 1u);
+    EXPECT_EQ(s.procs[0].prefetchBufferHits, 0u);
+    // The read refetched coherent data instead.
+    EXPECT_GE(s.procs[0].misses.cpu(), 1u);
+    EXPECT_TRUE(sim.memory().checkLineInvariant(0x1000));
+}
+
+TEST(PrefetchDataBuffer, LruOverflowLosesOldestPrefetch)
+{
+    Trace t;
+    for (unsigned i = 0; i < 5; ++i)
+        t.append(TraceRecord::prefetch(0x1000 + Addr{i} * 32));
+    t.appendInstrs(800);
+    for (unsigned i = 0; i < 5; ++i)
+        t.append(TraceRecord::read(0x1000 + Addr{i} * 32));
+    SimConfig cfg;
+    cfg.warmupEpisodes = 0;
+    cfg.prefetchDataBufferEntries = 4; // One prefetch must fall out.
+    const SimStats s = simulate(singleProc(std::move(t)), cfg);
+    EXPECT_EQ(s.procs[0].prefetchBufferHits, 4u);
+    // The pushed-out line misses and is classified "prefetched, but
+    // disappeared before use".
+    EXPECT_EQ(s.totalMisses().nonSharingPrefetched, 1u);
+}
+
+
+// --- Write-update protocol ablation (see 2: invalidation misses are
+// --- write-invalidate artifacts). ---
+
+SimConfig
+updateConfig()
+{
+    SimConfig cfg;
+    cfg.warmupEpisodes = 0;
+    cfg.protocol = CoherenceProtocol::WriteUpdate;
+    return cfg;
+}
+
+TEST(WriteUpdateProtocol, CopiesSurviveRemoteWrites)
+{
+    // Proc 0 reads a line; proc 1 writes it; proc 0 re-reads: under
+    // write-update the copy was refreshed in place, so no miss.
+    Trace a;
+    a.append(TraceRecord::read(0x1000));
+    a.appendInstrs(600);
+    a.append(TraceRecord::read(0x1000));
+    Trace b;
+    b.appendInstrs(250);
+    b.append(TraceRecord::write(0x1000));
+    ParallelTrace pt;
+    pt.name = "update";
+    pt.procs.push_back(std::move(a));
+    pt.procs.push_back(std::move(b));
+
+    const SimStats s = simulate(pt, updateConfig());
+    EXPECT_EQ(s.totalMisses().invalidation(), 0u);
+    EXPECT_EQ(s.procs[0].misses.cpu(), 1u); // Only the cold miss.
+    EXPECT_EQ(s.bus.opCount[unsigned(BusOpKind::WriteUpdate)], 1u);
+    EXPECT_EQ(s.bus.opCount[unsigned(BusOpKind::Upgrade)], 0u);
+}
+
+TEST(WriteUpdateProtocol, EveryWriteToSharedCostsABusOp)
+{
+    // The pack-rat pathology: two processors alternately write a line
+    // both keep cached — every write broadcasts.
+    auto mk = []() {
+        Trace t;
+        t.append(TraceRecord::read(0x2000));
+        for (int i = 0; i < 20; ++i) {
+            t.appendInstrs(40);
+            t.append(TraceRecord::write(0x2000));
+        }
+        return t;
+    };
+    ParallelTrace pt;
+    pt.name = "packrat";
+    pt.procs.push_back(mk());
+    pt.procs.push_back(mk());
+
+    const SimStats upd = simulate(pt, updateConfig());
+    EXPECT_GE(upd.bus.opCount[unsigned(BusOpKind::WriteUpdate)], 38u);
+    EXPECT_EQ(upd.totalMisses().invalidation(), 0u);
+
+    SimConfig inv;
+    inv.warmupEpisodes = 0;
+    const SimStats invs = simulate(pt, inv);
+    EXPECT_GT(invs.totalMisses().invalidation(), 0u);
+}
+
+TEST(WriteUpdateProtocol, PrivateWritesStaySilent)
+{
+    // A lone writer must not broadcast: E -> M silently, as in Illinois.
+    Trace t;
+    t.append(TraceRecord::read(0x3000));
+    for (int i = 0; i < 10; ++i) {
+        t.appendInstrs(5);
+        t.append(TraceRecord::write(0x3000));
+    }
+    ParallelTrace pt;
+    pt.name = "lone";
+    pt.procs.push_back(std::move(t));
+    const SimStats s = simulate(pt, updateConfig());
+    EXPECT_EQ(s.bus.opCount[unsigned(BusOpKind::WriteUpdate)], 0u);
+    EXPECT_EQ(s.bus.totalOps(), 1u); // The single cold fetch.
+}
+
+TEST(WriteUpdateProtocol, WriteMissFetchesSharedThenUpdates)
+{
+    // Proc 1 write-misses a line proc 0 holds: the fill arrives shared
+    // (no invalidation!), then the write broadcasts.
+    Trace a;
+    a.append(TraceRecord::read(0x4000));
+    a.appendInstrs(800);
+    a.append(TraceRecord::read(0x4000)); // Still a hit under update.
+    Trace b;
+    b.appendInstrs(200);
+    b.append(TraceRecord::write(0x4000));
+    ParallelTrace pt;
+    pt.name = "wm";
+    pt.procs.push_back(std::move(a));
+    pt.procs.push_back(std::move(b));
+
+    SimConfig cfg = updateConfig();
+    Simulator sim(pt, cfg);
+    const SimStats s = sim.run();
+    EXPECT_EQ(s.procs[0].misses.cpu(), 1u);
+    EXPECT_EQ(s.bus.opCount[unsigned(BusOpKind::ReadExclusive)], 0u);
+    EXPECT_EQ(s.bus.opCount[unsigned(BusOpKind::WriteUpdate)], 1u);
+    EXPECT_TRUE(sim.memory().checkLineInvariant(0x4000));
+}
+
+TEST(WriteUpdateProtocol, FullWorkloadHasNoInvalidationMisses)
+{
+    WorkloadParams p;
+    p.numProcs = 4;
+    p.refsPerProc = 15000;
+    p.seed = 3;
+    const ParallelTrace pt = generateWorkload(WorkloadKind::Pverify, p);
+    SimConfig cfg = updateConfig();
+    cfg.warmupEpisodes = 1;
+    const SimStats s = simulate(pt, cfg);
+    EXPECT_EQ(s.totalMisses().invalidation(), 0u);
+    EXPECT_EQ(s.totalMisses().falseSharing, 0u);
+    EXPECT_GT(s.bus.opCount[unsigned(BusOpKind::WriteUpdate)], 100u);
+}
+
+
+// --- Sync-respecting insertion (compiler realism). ---
+
+TEST(DontCrossSync, PrefetchClampedBelowBarrier)
+{
+    Trace t;
+    t.appendInstrs(300);
+    t.append(TraceRecord::barrier(0));
+    t.appendInstrs(20);
+    t.append(TraceRecord::read(0x1000));
+    t.append(TraceRecord::barrier(1));
+    ParallelTrace pt = singleProc(std::move(t));
+
+    StrategyParams sp = strategyParams(Strategy::PREF);
+    sp.dontCrossSync = true;
+    const AnnotatedTrace out = annotateTrace(pt, sp, kGeom);
+
+    // The prefetch must appear AFTER the first barrier.
+    bool barrier_seen = false;
+    std::size_t pf_pos = 0, rd_pos = 0, b0_pos = 0;
+    const auto &recs = out.trace.procs[0].records();
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        if (recs[i].kind == RecordKind::Barrier && !barrier_seen) {
+            b0_pos = i;
+            barrier_seen = true;
+        }
+        if (isPrefetch(recs[i].kind))
+            pf_pos = i;
+        if (recs[i].kind == RecordKind::Read)
+            rd_pos = i;
+    }
+    EXPECT_EQ(out.stats.inserted, 1u);
+    EXPECT_GT(pf_pos, b0_pos);
+    EXPECT_LT(pf_pos, rd_pos);
+
+    // Without the constraint, the prefetch hoists above the barrier
+    // (distance 100 reaches into the 300-cycle prologue).
+    const AnnotatedTrace free_out =
+        annotateTrace(pt, Strategy::PREF, kGeom);
+    std::size_t free_pf = 0, free_b0 = recs.size();
+    const auto &free_recs = free_out.trace.procs[0].records();
+    for (std::size_t i = 0; i < free_recs.size(); ++i) {
+        if (free_recs[i].kind == RecordKind::Barrier &&
+            free_b0 == recs.size())
+            free_b0 = i;
+        if (isPrefetch(free_recs[i].kind))
+            free_pf = i;
+    }
+    EXPECT_LT(free_pf, free_b0);
+}
+
+TEST(DontCrossSync, UnconstrainedPlacementUnchanged)
+{
+    // With no sync record in range, the flag must not move anything.
+    Trace t;
+    t.appendInstrs(500);
+    t.append(TraceRecord::read(0x1000));
+    ParallelTrace pt = singleProc(std::move(t));
+    StrategyParams sp = strategyParams(Strategy::PREF);
+    sp.dontCrossSync = true;
+    const AnnotatedTrace a = annotateTrace(pt, sp, kGeom);
+    const AnnotatedTrace b = annotateTrace(pt, Strategy::PREF, kGeom);
+    ASSERT_EQ(a.trace.procs[0].size(), b.trace.procs[0].size());
+    for (std::size_t i = 0; i < a.trace.procs[0].size(); ++i)
+        EXPECT_EQ(a.trace.procs[0][i], b.trace.procs[0][i]);
+}
+
+} // namespace
+} // namespace prefsim
+
+
+

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the prefetch pass's filter caches and cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "prefetch/assoc_filter.hh"
+#include "prefetch/cost_model.hh"
+#include "prefetch/filter_cache.hh"
+#include "trace/builder.hh"
+
+namespace prefsim
+{
+namespace
+{
+
+const CacheGeometry kGeom = CacheGeometry::paperDefault();
+
+TEST(FilterCache, ColdMissThenHit)
+{
+    FilterCache f(kGeom);
+    EXPECT_TRUE(f.access(0x1000));
+    EXPECT_FALSE(f.access(0x1000));
+    EXPECT_FALSE(f.access(0x101f)); // Same line.
+    EXPECT_TRUE(f.access(0x1020));  // Next line.
+}
+
+TEST(FilterCache, DirectMappedConflict)
+{
+    FilterCache f(kGeom);
+    const Addr a = 0x0;
+    const Addr b = a + kGeom.sizeBytes(); // Same set, different tag.
+    EXPECT_TRUE(f.access(a));
+    EXPECT_TRUE(f.access(b));
+    EXPECT_TRUE(f.access(a)); // b evicted a.
+    EXPECT_FALSE(f.access(a));
+}
+
+TEST(FilterCache, DifferentSetsDoNotConflict)
+{
+    FilterCache f(kGeom);
+    EXPECT_TRUE(f.access(0x0));
+    EXPECT_TRUE(f.access(0x20));
+    EXPECT_FALSE(f.access(0x0));
+    EXPECT_FALSE(f.access(0x20));
+}
+
+TEST(FilterCache, ResidentDoesNotInstall)
+{
+    FilterCache f(kGeom);
+    EXPECT_FALSE(f.resident(0x40));
+    f.access(0x40);
+    EXPECT_TRUE(f.resident(0x40));
+    EXPECT_FALSE(f.resident(0x40 + kGeom.sizeBytes()));
+}
+
+TEST(FilterCache, Reset)
+{
+    FilterCache f(kGeom);
+    f.access(0x40);
+    f.reset();
+    EXPECT_FALSE(f.resident(0x40));
+    EXPECT_TRUE(f.access(0x40));
+}
+
+TEST(FilterCache, CapacityBehaviour)
+{
+    // Touch exactly numSets distinct lines: all resident afterwards.
+    FilterCache f(kGeom);
+    for (std::uint32_t s = 0; s < kGeom.numSets(); ++s)
+        EXPECT_TRUE(f.access(Addr{s} * kGeom.lineBytes()));
+    for (std::uint32_t s = 0; s < kGeom.numSets(); ++s)
+        EXPECT_FALSE(f.access(Addr{s} * kGeom.lineBytes()));
+}
+
+TEST(AssocFilter, LruEviction)
+{
+    AssocFilter f(kGeom, 2);
+    EXPECT_TRUE(f.access(0x00));
+    EXPECT_TRUE(f.access(0x20));
+    EXPECT_TRUE(f.access(0x40));  // Evicts 0x00 (LRU).
+    EXPECT_FALSE(f.access(0x40));
+    EXPECT_FALSE(f.access(0x20));
+    EXPECT_TRUE(f.access(0x00));  // Was evicted.
+}
+
+TEST(AssocFilter, AccessRefreshesLru)
+{
+    AssocFilter f(kGeom, 2);
+    f.access(0x00);
+    f.access(0x20);
+    f.access(0x00);              // 0x20 becomes LRU.
+    EXPECT_TRUE(f.access(0x40)); // Evicts 0x20.
+    EXPECT_FALSE(f.access(0x00));
+    EXPECT_TRUE(f.access(0x20));
+}
+
+TEST(AssocFilter, FullyAssociative)
+{
+    // Lines that conflict in a direct-mapped cache co-reside here.
+    AssocFilter f(kGeom, 16);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_TRUE(f.access(Addr{static_cast<unsigned>(i)} *
+                             kGeom.sizeBytes()));
+    for (int i = 0; i < 16; ++i)
+        EXPECT_FALSE(f.access(Addr{static_cast<unsigned>(i)} *
+                              kGeom.sizeBytes()));
+}
+
+TEST(AssocFilter, SixteenLineDefaultMatchesPaper)
+{
+    AssocFilter f(kGeom);
+    EXPECT_EQ(f.numLines(), 16u);
+}
+
+TEST(AssocFilter, ResidentDoesNotTouchLru)
+{
+    AssocFilter f(kGeom, 2);
+    f.access(0x00);
+    f.access(0x20);
+    EXPECT_TRUE(f.resident(0x00)); // Query only.
+    EXPECT_TRUE(f.access(0x40));   // Still evicts 0x00.
+    EXPECT_TRUE(f.access(0x00));
+}
+
+TEST(AssocFilter, Reset)
+{
+    AssocFilter f(kGeom, 4);
+    f.access(0x0);
+    f.reset();
+    EXPECT_FALSE(f.resident(0x0));
+    EXPECT_TRUE(f.access(0x0));
+}
+
+TEST(CostModel, RecordCosts)
+{
+    EXPECT_EQ(recordCost(TraceRecord::instr(7)), 7u);
+    EXPECT_EQ(recordCost(TraceRecord::read(0x0)), 2u);
+    EXPECT_EQ(recordCost(TraceRecord::write(0x0)), 2u);
+    // 3.1: "a single instruction and the prefetch access itself".
+    EXPECT_EQ(recordCost(TraceRecord::prefetch(0x0)), 2u);
+    EXPECT_EQ(recordCost(TraceRecord::prefetch(0x0, true)), 2u);
+    EXPECT_EQ(recordCost(TraceRecord::lockAcquire(0)), 1u);
+    EXPECT_EQ(recordCost(TraceRecord::lockRelease(0)), 1u);
+    EXPECT_EQ(recordCost(TraceRecord::barrier(0)), 1u);
+}
+
+TEST(CostModel, PrefixSums)
+{
+    Trace t;
+    t.appendInstrs(10);                  // starts at 0
+    t.append(TraceRecord::read(0x0));    // starts at 10
+    t.append(TraceRecord::write(0x20));  // starts at 12
+    t.append(TraceRecord::barrier(0));   // starts at 14
+
+    const auto start = estimatedStartCycles(t);
+    ASSERT_EQ(start.size(), 5u);
+    EXPECT_EQ(start[0], 0u);
+    EXPECT_EQ(start[1], 10u);
+    EXPECT_EQ(start[2], 12u);
+    EXPECT_EQ(start[3], 14u);
+    EXPECT_EQ(start[4], 15u);
+}
+
+TEST(CostModel, EmptyTrace)
+{
+    Trace t;
+    const auto start = estimatedStartCycles(t);
+    ASSERT_EQ(start.size(), 1u);
+    EXPECT_EQ(start[0], 0u);
+}
+
+
+TEST(Streams, ColdStreamAlwaysFresh)
+{
+    ColdStream cs(0x4000'0000, 4);
+    std::set<Addr> lines;
+    const CacheGeometry g = CacheGeometry::paperDefault();
+    std::set<std::uint32_t> sets;
+    for (int i = 0; i < 64; ++i) {
+        const Addr a = cs.next();
+        EXPECT_TRUE(lines.insert(g.lineBase(a)).second) << i;
+        sets.insert(g.setIndex(a));
+    }
+    // Confined to its 4-set window.
+    EXPECT_EQ(sets.size(), 4u);
+}
+
+} // namespace
+} // namespace prefsim
+

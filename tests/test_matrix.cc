@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Cross-configuration property matrix.
+ *
+ * Every combination of cache organisation (ways, victim cache,
+ * prefetch-data-buffer), coherence protocol and prefetching strategy
+ * must uphold the simulator's invariants on a real workload trace. A
+ * failure names the configuration for replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "prefetch/inserter.hh"
+#include "sim/simulator.hh"
+
+namespace prefsim
+{
+namespace
+{
+
+struct MatrixConfig
+{
+    std::uint32_t ways;
+    unsigned victimEntries;
+    unsigned pdbEntries;
+    CoherenceProtocol protocol;
+    Strategy strategy;
+};
+
+std::string
+describe(const MatrixConfig &c)
+{
+    return std::to_string(c.ways) + "way_v" +
+           std::to_string(c.victimEntries) + "_b" +
+           std::to_string(c.pdbEntries) + "_" +
+           (c.protocol == CoherenceProtocol::WriteInvalidate ? "inv"
+                                                             : "upd") +
+           "_" + strategyName(c.strategy);
+}
+
+std::vector<MatrixConfig>
+allConfigs()
+{
+    std::vector<MatrixConfig> out;
+    for (std::uint32_t ways : {1u, 2u}) {
+        for (unsigned victim : {0u, 4u}) {
+            for (unsigned pdb : {0u, 8u}) {
+                for (auto proto : {CoherenceProtocol::WriteInvalidate,
+                                   CoherenceProtocol::WriteUpdate}) {
+                    for (auto s :
+                         {Strategy::NP, Strategy::PREF, Strategy::PWS}) {
+                        out.push_back({ways, victim, pdb, proto, s});
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+class ConfigMatrixSuite : public testing::TestWithParam<MatrixConfig>
+{
+};
+
+TEST_P(ConfigMatrixSuite, InvariantsHold)
+{
+    const MatrixConfig &mc = GetParam();
+
+    WorkloadParams wp;
+    wp.numProcs = 4;
+    wp.refsPerProc = 12000;
+    wp.seed = 11;
+    const ParallelTrace base =
+        generateWorkload(WorkloadKind::Pverify, wp);
+
+    const CacheGeometry geom(32 * 1024, 32, mc.ways);
+    const AnnotatedTrace ann = annotateTrace(base, mc.strategy, geom);
+
+    SimConfig cfg;
+    cfg.geometry = geom;
+    cfg.timing.dataTransfer = 8;
+    cfg.victimEntries = mc.victimEntries;
+    cfg.prefetchDataBufferEntries = mc.pdbEntries;
+    cfg.protocol = mc.protocol;
+    cfg.warmupEpisodes = 0;
+
+    Simulator sim(ann.trace, cfg);
+    const SimStats s = sim.run();
+
+    // 1. Completion, with everyone accounted for.
+    EXPECT_GT(s.cycles, 0u);
+    EXPECT_EQ(s.totalDemandRefs(), base.totalDemandRefs());
+
+    // 2. Per-processor cycle accounting.
+    for (const auto &p : s.procs) {
+        const Cycle sum = p.busy + p.stallDemand + p.stallUpgrade +
+                          p.stallPrefetchQueue + p.spinLock +
+                          p.waitBarrier;
+        EXPECT_LE(sum, p.finishedAt);
+        EXPECT_LE(p.finishedAt - sum, 2u);
+    }
+
+    // 3. Bus conservation. With a prefetch data buffer, parked fills
+    //    still come from classified fetches; with write-update there
+    //    are WriteUpdate ops instead of upgrades.
+    const MissBreakdown m = s.totalMisses();
+    const auto fetches =
+        s.bus.opCount[unsigned(BusOpKind::ReadShared)] +
+        s.bus.opCount[unsigned(BusOpKind::ReadExclusive)];
+    EXPECT_EQ(fetches, m.adjustedCpu() + s.totalPrefetchMisses());
+    EXPECT_EQ(s.bus.opCount[unsigned(BusOpKind::Upgrade)] +
+                  s.bus.opCount[unsigned(BusOpKind::WriteUpdate)],
+              s.totalUpgrades());
+
+    // 4. Protocol-specific: write-update has no invalidation misses
+    //    (and thus no false sharing).
+    if (mc.protocol == CoherenceProtocol::WriteUpdate) {
+        EXPECT_EQ(m.invalidation(), 0u);
+        EXPECT_EQ(m.falseSharing, 0u);
+        EXPECT_EQ(s.bus.opCount[unsigned(BusOpKind::Upgrade)], 0u);
+    }
+
+    // 5. Coherence invariant over the shared regions.
+    for (Addr a : {Addr{0x01000000}, Addr{0x02004000}, Addr{0x03000000}})
+        EXPECT_TRUE(sim.memory().checkLineInvariant(a));
+
+    // 6. Miss identities.
+    EXPECT_LE(m.adjustedCpu(), m.cpu());
+    EXPECT_LE(m.falseSharing, m.invalidation());
+}
+
+TEST_P(ConfigMatrixSuite, Deterministic)
+{
+    const MatrixConfig &mc = GetParam();
+    WorkloadParams wp;
+    wp.numProcs = 3;
+    wp.refsPerProc = 8000;
+    wp.seed = 21;
+    const ParallelTrace base = generateWorkload(WorkloadKind::Mp3d, wp);
+    const CacheGeometry geom(32 * 1024, 32, mc.ways);
+    const AnnotatedTrace ann = annotateTrace(base, mc.strategy, geom);
+
+    SimConfig cfg;
+    cfg.geometry = geom;
+    cfg.timing.dataTransfer = 16;
+    cfg.victimEntries = mc.victimEntries;
+    cfg.prefetchDataBufferEntries = mc.pdbEntries;
+    cfg.protocol = mc.protocol;
+    cfg.warmupEpisodes = 0;
+
+    const SimStats a = simulate(ann.trace, cfg);
+    const SimStats b = simulate(ann.trace, cfg);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.bus.busyCycles, b.bus.busyCycles);
+    EXPECT_EQ(a.totalMisses().cpu(), b.totalMisses().cpu());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, ConfigMatrixSuite,
+                         testing::ValuesIn(allConfigs()),
+                         [](const auto &param_info) {
+                             return describe(param_info.param);
+                         });
+
+} // namespace
+} // namespace prefsim

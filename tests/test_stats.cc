@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the reporting layer (text tables, CSV) and the logging
+ * helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.hh"
+#include "stats/json.hh"
+#include "stats/csv.hh"
+#include "stats/table.hh"
+
+namespace prefsim
+{
+namespace
+{
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name", "12345"});
+    const std::string s = t.str();
+    // Every rendered row has the same width.
+    std::istringstream is(s);
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(is, line)) {
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width) << line;
+    }
+    EXPECT_NE(s.find("longer-name"), std::string::npos);
+    EXPECT_NE(s.find("12345"), std::string::npos);
+}
+
+TEST(TextTable, RuleSeparators)
+{
+    TextTable t({"x"});
+    t.addRow({"1"});
+    t.addRule();
+    t.addRow({"2"});
+    const std::string s = t.str();
+    // Top, header, two data rows separated by a rule, bottom: 5 rules.
+    std::size_t rules = 0, pos = 0;
+    while ((pos = s.find("+--", pos)) != std::string::npos) {
+        ++rules;
+        pos += 3;
+    }
+    EXPECT_EQ(rules, 4u);
+    EXPECT_EQ(t.numRows(), 2u); // Rules don't count as rows.
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(0.375, 2), "0.38");
+    EXPECT_EQ(TextTable::num(1.0, 3), "1.000");
+    EXPECT_EQ(TextTable::percent(0.125, 1), "12.5%");
+    EXPECT_EQ(TextTable::percent(1.0, 0), "100%");
+    EXPECT_EQ(TextTable::count(42), "42");
+}
+
+TEST(TextTableDeathTest, RowWidthMismatchPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(Csv, PlainRow)
+{
+    std::ostringstream os;
+    CsvWriter w(os);
+    w.row({"a", "b", "c"});
+    EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(Csv, EscapesSeparatorsAndQuotes)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, MultipleRows)
+{
+    std::ostringstream os;
+    CsvWriter w(os);
+    w.row({"h1", "h2"});
+    w.row({"1,5", "2"});
+    EXPECT_EQ(os.str(), "h1,h2\n\"1,5\",2\n");
+}
+
+TEST(Logging, QuietSuppressesWarnings)
+{
+    setQuiet(true);
+    EXPECT_TRUE(quiet());
+    // Exercise the paths (output is suppressed; no crash is the test).
+    prefsim_warn("should not appear");
+    prefsim_inform("should not appear");
+    setQuiet(false);
+    EXPECT_FALSE(quiet());
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(prefsim_panic("boom ", 42), "panic: boom 42");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT(prefsim_fatal("bad config ", "x"),
+                testing::ExitedWithCode(1), "fatal: bad config x");
+}
+
+TEST(LoggingDeathTest, AssertCarriesMessage)
+{
+    const int value = 7;
+    EXPECT_DEATH(prefsim_assert(value == 8, "value was ", value),
+                 "assertion 'value == 8' failed: value was 7");
+}
+
+
+TEST(Json, EscapeRules)
+{
+    EXPECT_EQ(JsonWriter::escape("plain"), "\"plain\"");
+    EXPECT_EQ(JsonWriter::escape("say \"hi\""), "\"say \\\"hi\\\"\"");
+    EXPECT_EQ(JsonWriter::escape("a\nb"), "\"a\\nb\"");
+    EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(Json, WriterShapes)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.beginObject();
+    j.key("a").value(std::uint64_t{1});
+    j.key("b").beginArray();
+    j.value(std::uint64_t{2}).value(std::uint64_t{3});
+    j.endArray();
+    j.key("c").value(true);
+    j.key("d").value("x");
+    j.endObject();
+    EXPECT_EQ(os.str(), "{\"a\":1,\"b\":[2,3],\"c\":true,\"d\":\"x\"}");
+}
+
+TEST(Json, SimStatsRoundShape)
+{
+    SimStats s;
+    s.cycles = 100;
+    s.procs.resize(2);
+    s.procs[0].demandRefs = 10;
+    s.procs[0].busy = 40;
+    s.procs[0].misses.invalNotPrefetched = 2;
+    s.bus.busyCycles = 25;
+
+    std::ostringstream os;
+    writeJson(os, s, "unit/NP@8");
+    const std::string out = os.str();
+    // Well-formedness basics + the fields downstream plotting needs.
+    EXPECT_NE(out.find("\"label\":\"unit/NP@8\""), std::string::npos);
+    EXPECT_NE(out.find("\"cycles\":100"), std::string::npos);
+    EXPECT_NE(out.find("\"invalNotPrefetched\":2"), std::string::npos);
+    EXPECT_NE(out.find("\"procs\":[{"), std::string::npos);
+    EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+              std::count(out.begin(), out.end(), '}'));
+    EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+              std::count(out.begin(), out.end(), ']'));
+}
+
+} // namespace
+} // namespace prefsim
+

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for lock and barrier bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/sync.hh"
+
+namespace prefsim
+{
+namespace
+{
+
+TEST(LockTable, AcquireAndRelease)
+{
+    LockTable locks(4);
+    EXPECT_TRUE(locks.allFree());
+    EXPECT_TRUE(locks.tryAcquire(0, 2));
+    EXPECT_EQ(locks.holder(0), 2u);
+    EXPECT_FALSE(locks.allFree());
+    locks.release(0, 2);
+    EXPECT_TRUE(locks.allFree());
+}
+
+TEST(LockTable, MutualExclusion)
+{
+    LockTable locks(2);
+    EXPECT_TRUE(locks.tryAcquire(1, 0));
+    EXPECT_FALSE(locks.tryAcquire(1, 1));
+    EXPECT_FALSE(locks.tryAcquire(1, 2));
+    locks.release(1, 0);
+    EXPECT_TRUE(locks.tryAcquire(1, 1));
+}
+
+TEST(LockTable, IndependentLocks)
+{
+    LockTable locks(3);
+    EXPECT_TRUE(locks.tryAcquire(0, 0));
+    EXPECT_TRUE(locks.tryAcquire(1, 1));
+    EXPECT_TRUE(locks.tryAcquire(2, 0));
+    EXPECT_EQ(locks.holder(1), 1u);
+}
+
+TEST(LockTableDeathTest, RecursiveAcquirePanics)
+{
+    LockTable locks(1);
+    locks.tryAcquire(0, 3);
+    EXPECT_DEATH(locks.tryAcquire(0, 3), "re-acquiring");
+}
+
+TEST(LockTableDeathTest, WrongReleaserPanics)
+{
+    LockTable locks(1);
+    locks.tryAcquire(0, 3);
+    EXPECT_DEATH(locks.release(0, 4), "releasing lock");
+}
+
+TEST(LockTableDeathTest, OutOfRangePanics)
+{
+    LockTable locks(1);
+    EXPECT_DEATH(locks.tryAcquire(5, 0), "out of range");
+}
+
+TEST(BarrierManager, EpisodeCompletes)
+{
+    BarrierManager b(3);
+    EXPECT_FALSE(b.arrive(0, 0));
+    EXPECT_TRUE(b.waiting(0));
+    EXPECT_FALSE(b.arrive(0, 2));
+    EXPECT_TRUE(b.arrive(0, 1));
+    EXPECT_EQ(b.episodes(), 1u);
+    EXPECT_FALSE(b.waiting(0));
+    EXPECT_EQ(b.arrivedCount(), 0u);
+}
+
+TEST(BarrierManager, MultipleEpisodes)
+{
+    BarrierManager b(2);
+    for (SyncId id = 0; id < 5; ++id) {
+        EXPECT_FALSE(b.arrive(id, 0));
+        EXPECT_TRUE(b.arrive(id, 1));
+    }
+    EXPECT_EQ(b.episodes(), 5u);
+}
+
+TEST(BarrierManager, SingleProcBarriersPassImmediately)
+{
+    BarrierManager b(1);
+    EXPECT_TRUE(b.arrive(0, 0));
+    EXPECT_TRUE(b.arrive(1, 0));
+    EXPECT_EQ(b.episodes(), 2u);
+}
+
+TEST(BarrierManagerDeathTest, DoubleArrivalPanics)
+{
+    BarrierManager b(3);
+    b.arrive(0, 1);
+    EXPECT_DEATH(b.arrive(0, 1), "arrived twice");
+}
+
+TEST(BarrierManagerDeathTest, IdMismatchPanics)
+{
+    BarrierManager b(3);
+    b.arrive(7, 0);
+    EXPECT_DEATH(b.arrive(8, 1), "mismatch");
+}
+
+} // namespace
+} // namespace prefsim

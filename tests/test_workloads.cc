@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Tests for the five synthetic workload generators.
+ *
+ * The parameterized suite checks the structural contracts every
+ * generator must honour for the simulator to accept its trace: equal
+ * barrier sequences, balanced and ordered locks, requested size and
+ * processor count, determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "trace/sharing_analysis.hh"
+#include "trace/trace_stats.hh"
+#include "trace/workload.hh"
+
+namespace prefsim
+{
+namespace
+{
+
+WorkloadParams
+smallParams()
+{
+    WorkloadParams p;
+    p.numProcs = 4;
+    p.refsPerProc = 20000;
+    p.seed = 99;
+    return p;
+}
+
+class WorkloadSuite : public testing::TestWithParam<WorkloadKind>
+{
+};
+
+TEST_P(WorkloadSuite, HonoursProcessorCount)
+{
+    const ParallelTrace t = generateWorkload(GetParam(), smallParams());
+    EXPECT_EQ(t.numProcs(), 4u);
+    EXPECT_EQ(t.name, workloadName(GetParam()));
+}
+
+TEST_P(WorkloadSuite, GeneratesRequestedVolume)
+{
+    const ParallelTrace t = generateWorkload(GetParam(), smallParams());
+    for (const auto &proc : t.procs) {
+        // Within a factor of two of the request (generators round to
+        // whole steps and enforce a minimum step count).
+        EXPECT_GT(proc.demandRefs(), 10000u);
+        // Generators round up to whole steps/passes with a minimum of
+        // five, so small requests can overshoot considerably.
+        EXPECT_LT(proc.demandRefs(), 400000u);
+    }
+}
+
+TEST_P(WorkloadSuite, BarrierSequencesIdenticalAcrossProcs)
+{
+    const ParallelTrace t = generateWorkload(GetParam(), smallParams());
+    std::vector<std::vector<SyncId>> seqs;
+    for (const auto &proc : t.procs) {
+        std::vector<SyncId> seq;
+        for (const auto &r : proc.records()) {
+            if (r.kind == RecordKind::Barrier)
+                seq.push_back(r.sync);
+        }
+        seqs.push_back(std::move(seq));
+    }
+    for (std::size_t p = 1; p < seqs.size(); ++p)
+        EXPECT_EQ(seqs[p], seqs[0]) << "proc " << p;
+    EXPECT_GE(seqs[0].size(), 5u); // Warmup needs whole episodes.
+}
+
+TEST_P(WorkloadSuite, LocksBalancedAndOrdered)
+{
+    const ParallelTrace t = generateWorkload(GetParam(), smallParams());
+    for (const auto &proc : t.procs) {
+        std::vector<SyncId> held;
+        for (const auto &r : proc.records()) {
+            if (r.kind == RecordKind::LockAcquire) {
+                EXPECT_LT(r.sync, t.numLocks);
+                // No re-acquisition, and ids acquired in ascending order
+                // (the deadlock-freedom discipline).
+                for (auto h : held) {
+                    EXPECT_NE(h, r.sync);
+                    EXPECT_LT(h, r.sync);
+                }
+                held.push_back(r.sync);
+            } else if (r.kind == RecordKind::LockRelease) {
+                ASSERT_FALSE(held.empty());
+                auto it = std::find(held.begin(), held.end(), r.sync);
+                ASSERT_NE(it, held.end());
+                held.erase(it);
+            } else if (r.kind == RecordKind::Barrier) {
+                // Never hold a lock across a barrier.
+                EXPECT_TRUE(held.empty());
+            }
+        }
+        EXPECT_TRUE(held.empty());
+    }
+}
+
+TEST_P(WorkloadSuite, DeterministicForSeed)
+{
+    const ParallelTrace a = generateWorkload(GetParam(), smallParams());
+    const ParallelTrace b = generateWorkload(GetParam(), smallParams());
+    ASSERT_EQ(a.numProcs(), b.numProcs());
+    for (std::size_t p = 0; p < a.numProcs(); ++p) {
+        ASSERT_EQ(a.procs[p].size(), b.procs[p].size());
+        for (std::size_t i = 0; i < a.procs[p].size(); ++i)
+            ASSERT_EQ(a.procs[p][i], b.procs[p][i]);
+    }
+}
+
+TEST_P(WorkloadSuite, SeedChangesTrace)
+{
+    WorkloadParams p2 = smallParams();
+    p2.seed = 100;
+    const ParallelTrace a = generateWorkload(GetParam(), smallParams());
+    const ParallelTrace b = generateWorkload(GetParam(), p2);
+    bool different = false;
+    for (std::size_t p = 0; p < a.numProcs() && !different; ++p) {
+        if (a.procs[p].size() != b.procs[p].size()) {
+            different = true;
+            break;
+        }
+        for (std::size_t i = 0; i < a.procs[p].size(); ++i) {
+            if (!(a.procs[p][i] == b.procs[p][i])) {
+                different = true;
+                break;
+            }
+        }
+    }
+    EXPECT_TRUE(different);
+}
+
+TEST_P(WorkloadSuite, HasSharedData)
+{
+    const ParallelTrace t = generateWorkload(GetParam(), smallParams());
+    const SharingAnalysis sa(t, 32);
+    // Every paper workload shares data; all but Water write-share a
+    // meaningful amount.
+    EXPECT_GT(sa.numReadSharedLines() + sa.numWriteSharedLines(), 0u);
+    EXPECT_GT(sa.numWriteSharedLines(), 0u);
+}
+
+TEST_P(WorkloadSuite, NoPrefetchesInRawTrace)
+{
+    const ParallelTrace t = generateWorkload(GetParam(), smallParams());
+    EXPECT_EQ(t.totalPrefetches(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadSuite,
+                         testing::ValuesIn(allWorkloads()),
+                         [](const auto &param_info) {
+                             return workloadName(param_info.param);
+                         });
+
+TEST(WorkloadNames, RoundTrip)
+{
+    for (auto kind : allWorkloads())
+        EXPECT_EQ(workloadFromName(workloadName(kind)), kind);
+}
+
+TEST(WorkloadNamesDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(workloadFromName("spice"), testing::ExitedWithCode(1),
+                "unknown workload");
+}
+
+TEST(RestructuredVariants, OnlyTopoptAndPverify)
+{
+    EXPECT_TRUE(hasRestructuredVariant(WorkloadKind::Topopt));
+    EXPECT_TRUE(hasRestructuredVariant(WorkloadKind::Pverify));
+    EXPECT_FALSE(hasRestructuredVariant(WorkloadKind::Water));
+    EXPECT_FALSE(hasRestructuredVariant(WorkloadKind::Mp3d));
+    EXPECT_FALSE(hasRestructuredVariant(WorkloadKind::LocusRoute));
+}
+
+TEST(RestructuredVariants, GenerateAndRename)
+{
+    WorkloadParams p = smallParams();
+    p.restructured = true;
+    EXPECT_EQ(generateWorkload(WorkloadKind::Topopt, p).name, "topopt-r");
+    EXPECT_EQ(generateWorkload(WorkloadKind::Pverify, p).name, "pverify-r");
+}
+
+TEST(RestructuredVariantsDeathTest, UnsupportedIsFatal)
+{
+    WorkloadParams p = smallParams();
+    p.restructured = true;
+    EXPECT_EXIT(generateWorkload(WorkloadKind::Water, p),
+                testing::ExitedWithCode(1), "no restructured variant");
+}
+
+TEST(WorkloadParamsDeathTest, Validation)
+{
+    WorkloadParams p = smallParams();
+    p.numProcs = 1;
+    EXPECT_EXIT(generateWorkload(WorkloadKind::Water, p),
+                testing::ExitedWithCode(1), "numProcs");
+    p = smallParams();
+    p.numProcs = 64;
+    EXPECT_EXIT(generateWorkload(WorkloadKind::Water, p),
+                testing::ExitedWithCode(1), "numProcs");
+    p = smallParams();
+    p.refsPerProc = 0;
+    EXPECT_EXIT(generateWorkload(WorkloadKind::Water, p),
+                testing::ExitedWithCode(1), "refsPerProc");
+}
+
+TEST(WorkloadCharacter, PverifyRestructuringRemovesResultInterleaving)
+{
+    // The Jeremiassen-Eggers property: in the restructured layout no
+    // result line is *written* by two processors (each processor's
+    // results are grouped and padded); in the standard layout,
+    // multi-writer lines are common. Reads may still cross regions
+    // (true sharing is preserved).
+    auto multi_writer_lines = [](const ParallelTrace &t) {
+        std::map<Addr, std::uint32_t> writers;
+        for (std::size_t p = 0; p < t.numProcs(); ++p) {
+            for (const auto &r : t.procs[p].records()) {
+                // Result vector region (shared-B), writes only.
+                if (r.kind == RecordKind::Write && r.addr >= 0x02000000 &&
+                    r.addr < 0x03000000) {
+                    writers[r.addr & ~Addr{31}] |= 1u << p;
+                }
+            }
+        }
+        unsigned multi = 0;
+        for (const auto &[line, mask] : writers)
+            multi += (mask & (mask - 1)) != 0 ? 1 : 0;
+        return multi;
+    };
+
+    WorkloadParams p = smallParams();
+    const ParallelTrace std_t = generateWorkload(WorkloadKind::Pverify, p);
+    p.restructured = true;
+    const ParallelTrace r_t = generateWorkload(WorkloadKind::Pverify, p);
+
+    EXPECT_GT(multi_writer_lines(std_t), 100u);
+    EXPECT_EQ(multi_writer_lines(r_t), 0u);
+}
+
+TEST(WorkloadCharacter, DataScaleShrinksFootprint)
+{
+    WorkloadParams p = smallParams();
+    const TraceStats full =
+        computeTraceStats(generateWorkload(WorkloadKind::Mp3d, p), 32);
+    p.dataScale = 0.25;
+    const TraceStats quarter =
+        computeTraceStats(generateWorkload(WorkloadKind::Mp3d, p), 32);
+    EXPECT_LT(quarter.footprintBytes, full.footprintBytes);
+}
+
+TEST(WorkloadCharacter, WaterIsReadMostly)
+{
+    const TraceStats s = computeTraceStats(
+        generateWorkload(WorkloadKind::Water, smallParams()), 32);
+    EXPECT_LT(s.writeFraction(), 0.3);
+}
+
+TEST(WorkloadCharacter, MissRateOrdering)
+{
+    // The paper's fundamental workload ordering: Water has by far the
+    // smallest footprint pressure; Mp3d and Pverify the largest.
+    WorkloadParams p = smallParams();
+    auto footprint = [&](WorkloadKind k) {
+        return computeTraceStats(generateWorkload(k, p), 32).footprintBytes;
+    };
+    EXPECT_LT(footprint(WorkloadKind::Water),
+              footprint(WorkloadKind::Mp3d));
+    EXPECT_LT(footprint(WorkloadKind::Water),
+              footprint(WorkloadKind::Pverify));
+}
+
+
+TEST(WorkloadTunablesApi, OverridesChangeTheTrace)
+{
+    // Halving the per-molecule interaction count halves each step's
+    // work; the generator compensates with more steps (the total volume
+    // tracks refsPerProc), so the visible effect is the step count.
+    WorkloadParams p = smallParams();
+    const ParallelTrace base = generateWorkload(WorkloadKind::Water, p);
+    p.tunables.water.partnersPerMol = 4;
+    const ParallelTrace tweaked =
+        generateWorkload(WorkloadKind::Water, p);
+    EXPECT_GE(tweaked.numBarriers, base.numBarriers * 3 / 2);
+}
+
+TEST(WorkloadTunablesApi, DefaultsAreCalibratedValues)
+{
+    // A fresh WorkloadTunables equals the implicit defaults: traces
+    // generated either way are identical.
+    WorkloadParams p = smallParams();
+    const ParallelTrace a = generateWorkload(WorkloadKind::Topopt, p);
+    p.tunables = WorkloadTunables{};
+    const ParallelTrace b = generateWorkload(WorkloadKind::Topopt, p);
+    ASSERT_EQ(a.procs[0].size(), b.procs[0].size());
+    for (std::size_t i = 0; i < a.procs[0].size(); ++i)
+        ASSERT_EQ(a.procs[0][i], b.procs[0][i]);
+}
+
+TEST(WorkloadTunablesApi, SharingKnobMovesSharingFootprint)
+{
+    WorkloadParams p = smallParams();
+    const SharingAnalysis base(
+        generateWorkload(WorkloadKind::Mp3d, p), 32);
+    p.tunables.mp3d.remoteCellProb = 0.9;
+    const SharingAnalysis hot(
+        generateWorkload(WorkloadKind::Mp3d, p), 32);
+    EXPECT_GT(hot.writeSharedRefFraction(),
+              base.writeSharedRefFraction());
+}
+
+} // namespace
+} // namespace prefsim
+
