@@ -10,6 +10,10 @@
  *     misses dominant (§3.3);
  *  3. larger block sizes increase false sharing and thus invalidation
  *     misses (§3.3, confirming Eggers-Jeremiassen).
+ *
+ * Each organisation is an ExperimentSpec with its own geometry, so the
+ * whole ablation is one declared sweep: parallel under --jobs,
+ * resumable under --cache-dir.
  */
 
 #include <iostream>
@@ -24,67 +28,84 @@ using namespace prefsim;
 namespace
 {
 
-struct RunOut
+struct Org
 {
-    SimStats np;
-    SimStats pref;
+    const char *name;
+    std::uint32_t ways;
+    unsigned victims;
 };
 
-RunOut
-runBoth(const ParallelTrace &base, const CacheGeometry &geom,
-        unsigned victim_entries)
-{
-    SimConfig cfg;
-    cfg.timing.dataTransfer = 8;
-    cfg.geometry = geom;
-    cfg.victimEntries = victim_entries;
+constexpr Org kOrgs[] = {Org{"direct-mapped (paper)", 1, 0},
+                         Org{"DM + 4-entry victim cache", 1, 4},
+                         Org{"DM + 16-entry victim cache", 1, 16},
+                         Org{"2-way LRU", 2, 0}, Org{"4-way LRU", 4, 0}};
 
-    RunOut out;
-    const AnnotatedTrace np = annotateTrace(base, Strategy::NP, geom);
-    out.np = simulate(np.trace, cfg);
-    const AnnotatedTrace pref = annotateTrace(base, Strategy::PREF, geom);
-    out.pref = simulate(pref.trace, cfg);
-    return out;
-}
+constexpr std::uint32_t kCacheKb[] = {16, 32, 64, 128, 256};
+constexpr std::uint32_t kBlocks[] = {16, 32, 64, 128};
+constexpr WorkloadKind kBlockWorkloads[] = {WorkloadKind::Topopt,
+                                            WorkloadKind::Pverify};
 
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    WorkloadParams params = parseBenchArgs(argc, argv);
-    Workbench bench(params);
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    SweepEngine bench = makeEngine(opts);
+    const Cycle kTransfer = 8;
+
+    auto orgSpec = [&](const Org &org, Strategy s) {
+        ExperimentSpec spec = bench.makeSpec(WorkloadKind::Topopt, false,
+                                             s, kTransfer);
+        spec.geometry = CacheGeometry(32 * 1024, 32, org.ways);
+        spec.sim.victimEntries = org.victims;
+        return spec;
+    };
+    auto sizeSpec = [&](std::uint32_t kb) {
+        ExperimentSpec spec = bench.makeSpec(WorkloadKind::Pverify, false,
+                                             Strategy::NP, kTransfer);
+        spec.geometry = CacheGeometry(kb * 1024, 32, 1);
+        return spec;
+    };
+    auto blockSpec = [&](WorkloadKind w, std::uint32_t block) {
+        ExperimentSpec spec =
+            bench.makeSpec(w, false, Strategy::NP, kTransfer);
+        spec.geometry = CacheGeometry(32 * 1024, block, 1);
+        return spec;
+    };
+
+    for (const Org &org : kOrgs) {
+        bench.enqueue(orgSpec(org, Strategy::NP));
+        bench.enqueue(orgSpec(org, Strategy::PREF));
+    }
+    for (const std::uint32_t kb : kCacheKb)
+        bench.enqueue(sizeSpec(kb));
+    for (const WorkloadKind w : kBlockWorkloads) {
+        for (const std::uint32_t block : kBlocks)
+            bench.enqueue(blockSpec(w, block));
+    }
+    bench.runPending();
 
     // ------------------------------------------------------------------
     std::cout << "=== Ablation 1: associativity & victim cache vs the "
                  "conflicts prefetching introduces (topopt, T=8) ===\n\n";
     {
-        const ParallelTrace &base = bench.baseTrace(WorkloadKind::Topopt);
         TextTable t({"organisation", "NP non-shr misses",
                      "PREF non-shr misses", "victim hits (NP)",
                      "PREF rel. time"});
-        struct Org
-        {
-            const char *name;
-            std::uint32_t ways;
-            unsigned victims;
-        };
-        for (const Org org :
-             {Org{"direct-mapped (paper)", 1, 0},
-              Org{"DM + 4-entry victim cache", 1, 4},
-              Org{"DM + 16-entry victim cache", 1, 16},
-              Org{"2-way LRU", 2, 0}, Org{"4-way LRU", 4, 0}}) {
-            const CacheGeometry geom(32 * 1024, 32, org.ways);
-            const RunOut r = runBoth(base, geom, org.victims);
+        for (const Org &org : kOrgs) {
+            const SimStats &np = bench.run(orgSpec(org, Strategy::NP)).sim;
+            const SimStats &pref =
+                bench.run(orgSpec(org, Strategy::PREF)).sim;
             std::uint64_t victim_hits = 0;
-            for (const auto &p : r.np.procs)
+            for (const auto &p : np.procs)
                 victim_hits += p.victimHits;
             t.addRow({org.name,
-                      TextTable::count(r.np.totalMisses().nonSharing()),
-                      TextTable::count(r.pref.totalMisses().nonSharing()),
+                      TextTable::count(np.totalMisses().nonSharing()),
+                      TextTable::count(pref.totalMisses().nonSharing()),
                       TextTable::count(victim_hits),
-                      TextTable::num(static_cast<double>(r.pref.cycles) /
-                                     static_cast<double>(r.np.cycles))});
+                      TextTable::num(static_cast<double>(pref.cycles) /
+                                     static_cast<double>(np.cycles))});
         }
         t.print(std::cout);
         std::cout << "paper 4.3: \"the magnitude of this conflict ... "
@@ -95,16 +116,9 @@ main(int argc, char **argv)
     // ------------------------------------------------------------------
     std::cout << "=== Ablation 2: cache size (pverify, NP, T=8) ===\n\n";
     {
-        const ParallelTrace &base = bench.baseTrace(WorkloadKind::Pverify);
         TextTable t({"cache", "non-shr MR", "inval MR", "inval share"});
-        for (std::uint32_t kb : {16u, 32u, 64u, 128u, 256u}) {
-            const CacheGeometry geom(kb * 1024, 32, 1);
-            SimConfig cfg;
-            cfg.timing.dataTransfer = 8;
-            cfg.geometry = geom;
-            const AnnotatedTrace ann = annotateTrace(base, Strategy::NP,
-                                                     geom);
-            const SimStats s = simulate(ann.trace, cfg);
+        for (const std::uint32_t kb : kCacheKb) {
+            const SimStats &s = bench.run(sizeSpec(kb)).sim;
             const MissBreakdown m = s.totalMisses();
             const auto refs = s.totalDemandRefs();
             t.addRow({std::to_string(kb) + " KB",
@@ -131,17 +145,9 @@ main(int argc, char **argv)
     {
         TextTable t({"workload", "block", "inval MR", "FS MR",
                      "FS share of invals"});
-        for (WorkloadKind w :
-             {WorkloadKind::Topopt, WorkloadKind::Pverify}) {
-            const ParallelTrace &base = bench.baseTrace(w);
-            for (std::uint32_t block : {16u, 32u, 64u, 128u}) {
-                const CacheGeometry geom(32 * 1024, block, 1);
-                SimConfig cfg;
-                cfg.timing.dataTransfer = 8;
-                cfg.geometry = geom;
-                const AnnotatedTrace ann =
-                    annotateTrace(base, Strategy::NP, geom);
-                const SimStats s = simulate(ann.trace, cfg);
+        for (const WorkloadKind w : kBlockWorkloads) {
+            for (const std::uint32_t block : kBlocks) {
+                const SimStats &s = bench.run(blockSpec(w, block)).sim;
                 const MissBreakdown m = s.totalMisses();
                 t.addRow(
                     {workloadName(w), std::to_string(block) + " B",

@@ -13,6 +13,10 @@
  *  4. the §3.1 argument for cache prefetching over non-snooping
  *     prefetch buffers: restricting prefetches to provably unshared
  *     lines forfeits most of the benefit on sharing-heavy workloads.
+ *
+ * Every point is an ExperimentSpec (custom strategy parameters and
+ * simulator configs included), so the whole ablation is one declared
+ * sweep: parallel under --jobs, resumable under --cache-dir.
  */
 
 #include <iostream>
@@ -24,44 +28,83 @@
 
 using namespace prefsim;
 
-namespace
-{
-
-SimStats
-runWith(const ParallelTrace &base, const StrategyParams &sp,
-        const SimConfig &cfg)
-{
-    const AnnotatedTrace ann =
-        annotateTrace(base, sp, CacheGeometry::paperDefault());
-    return simulate(ann.trace, cfg);
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    WorkloadParams params = parseBenchArgs(argc, argv);
-    Workbench bench(params);
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    SweepEngine bench = makeEngine(opts);
     const Cycle kTransfer = 8;
-    SimConfig cfg;
-    cfg.timing.dataTransfer = kTransfer;
+
+    // Declare the full ablation grid before reading any result.
+    const std::uint32_t kDistances[] = {25, 50, 100, 200, 400, 800};
+    auto distanceSpec = [&](std::uint32_t d) {
+        ExperimentSpec spec = bench.makeSpec(WorkloadKind::Mp3d, false,
+                                             Strategy::PREF, kTransfer);
+        StrategyParams sp;
+        sp.distanceCycles = d;
+        spec.strategyOverride = sp;
+        return spec;
+    };
+    for (const std::uint32_t d : kDistances)
+        bench.enqueue(distanceSpec(d));
+
+    const unsigned kDepths[] = {1, 2, 4, 8, 16, 32};
+    auto depthSpec = [&](unsigned depth) {
+        ExperimentSpec spec = bench.makeSpec(WorkloadKind::Mp3d, false,
+                                             Strategy::PREF, kTransfer);
+        spec.sim.prefetchBufferDepth = depth;
+        return spec;
+    };
+    for (const unsigned depth : kDepths)
+        bench.enqueue(depthSpec(depth));
+
+    const WorkloadKind kRtwWorkloads[] = {
+        WorkloadKind::Topopt, WorkloadKind::Mp3d, WorkloadKind::Water};
+    auto rtwSpec = [&](WorkloadKind w) {
+        ExperimentSpec spec =
+            bench.makeSpec(w, false, Strategy::EXCL, kTransfer);
+        StrategyParams rtw = strategyParams(Strategy::EXCL);
+        rtw.exclusiveReadThenWrite = true;
+        spec.strategyOverride = rtw;
+        return spec;
+    };
+    for (const WorkloadKind w : kRtwWorkloads) {
+        bench.enqueue(w, false, Strategy::NP, kTransfer);
+        bench.enqueue(w, false, Strategy::EXCL, kTransfer);
+        bench.enqueue(rtwSpec(w));
+    }
+
+    const WorkloadKind kBufWorkloads[] = {
+        WorkloadKind::Mp3d, WorkloadKind::Pverify, WorkloadKind::Water};
+    auto bufferSpec = [&](WorkloadKind w) {
+        ExperimentSpec spec =
+            bench.makeSpec(w, false, Strategy::PREF, kTransfer);
+        StrategyParams po = strategyParams(Strategy::PREF);
+        po.privateLinesOnly = true;
+        spec.strategyOverride = po;
+        spec.sim.prefetchDataBufferEntries = 16;
+        return spec;
+    };
+    for (const WorkloadKind w : kBufWorkloads) {
+        bench.enqueue(w, false, Strategy::NP, kTransfer);
+        bench.enqueue(w, false, Strategy::PREF, kTransfer);
+        bench.enqueue(bufferSpec(w));
+    }
+
+    bench.runPending();
 
     // ------------------------------------------------------------------
     std::cout << "=== Ablation 1: prefetch distance (mp3d, T=8) ===\n"
               << "(PREF uses 100 = the uncontended latency; LPD uses "
                  "400)\n\n";
     {
-        const ParallelTrace &base = bench.baseTrace(WorkloadKind::Mp3d);
         const Cycle np_cycles =
             bench.run(WorkloadKind::Mp3d, false, Strategy::NP, kTransfer)
                 .sim.cycles;
         TextTable t({"distance", "rel. exec time", "pf-in-progress",
                      "non-sharing misses", "prefetched-but-lost"});
-        for (std::uint32_t d : {25u, 50u, 100u, 200u, 400u, 800u}) {
-            StrategyParams sp;
-            sp.distanceCycles = d;
-            const SimStats s = runWith(base, sp, cfg);
+        for (const std::uint32_t d : kDistances) {
+            const SimStats &s = bench.run(distanceSpec(d)).sim;
             const MissBreakdown m = s.totalMisses();
             t.addRow({std::to_string(d),
                       TextTable::num(static_cast<double>(s.cycles) /
@@ -81,14 +124,9 @@ main(int argc, char **argv)
     std::cout << "=== Ablation 2: prefetch buffer depth (mp3d, T=8) "
                  "===\n\n";
     {
-        const ParallelTrace &base = bench.baseTrace(WorkloadKind::Mp3d);
         TextTable t({"depth", "exec cycles", "buffer-full stall cycles"});
-        for (unsigned depth : {1u, 2u, 4u, 8u, 16u, 32u}) {
-            SimConfig c2 = cfg;
-            c2.prefetchBufferDepth = depth;
-            const AnnotatedTrace ann = annotateTrace(
-                base, Strategy::PREF, CacheGeometry::paperDefault());
-            const SimStats s = simulate(ann.trace, c2);
+        for (const unsigned depth : kDepths) {
+            const SimStats &s = bench.run(depthSpec(depth)).sim;
             Cycle stall = 0;
             for (const auto &p : s.procs)
                 stall += p.stallPrefetchQueue;
@@ -107,31 +145,20 @@ main(int argc, char **argv)
         TextTable t({"workload", "EXCL upgrades", "EXCL+RTW upgrades",
                      "rtw prefetches", "EXCL rel. time",
                      "EXCL+RTW rel. time"});
-        for (WorkloadKind w :
-             {WorkloadKind::Topopt, WorkloadKind::Mp3d,
-              WorkloadKind::Water}) {
-            const ParallelTrace &base = bench.baseTrace(w);
+        for (const WorkloadKind w : kRtwWorkloads) {
             const Cycle np_cycles =
                 bench.run(w, false, Strategy::NP, kTransfer).sim.cycles;
-
-            StrategyParams excl = strategyParams(Strategy::EXCL);
-            const AnnotatedTrace ann_e = annotateTrace(
-                base, excl, CacheGeometry::paperDefault());
-            const SimStats se = simulate(ann_e.trace, cfg);
-
-            StrategyParams rtw = excl;
-            rtw.exclusiveReadThenWrite = true;
-            const AnnotatedTrace ann_r =
-                annotateTrace(base, rtw, CacheGeometry::paperDefault());
-            const SimStats sr = simulate(ann_r.trace, cfg);
+            const SimStats &se =
+                bench.run(w, false, Strategy::EXCL, kTransfer).sim;
+            const ExperimentResult &rr = bench.run(rtwSpec(w));
 
             t.addRow({workloadName(w),
                       TextTable::count(se.totalUpgrades()),
-                      TextTable::count(sr.totalUpgrades()),
-                      TextTable::count(ann_r.stats.rtwExclusive),
+                      TextTable::count(rr.sim.totalUpgrades()),
+                      TextTable::count(rr.annotate.rtwExclusive),
                       TextTable::num(static_cast<double>(se.cycles) /
                                      static_cast<double>(np_cycles)),
-                      TextTable::num(static_cast<double>(sr.cycles) /
+                      TextTable::num(static_cast<double>(rr.sim.cycles) /
                                      static_cast<double>(np_cycles))});
         }
         t.print(std::cout);
@@ -149,39 +176,29 @@ main(int argc, char **argv)
         TextTable t({"workload", "PREF prefetches", "buffer-legal",
                      "dropped (shared)", "cache-PREF rel.",
                      "buffer-PREF rel."});
-        for (WorkloadKind w :
-             {WorkloadKind::Mp3d, WorkloadKind::Pverify,
-              WorkloadKind::Water}) {
-            const ParallelTrace &base = bench.baseTrace(w);
+        for (const WorkloadKind w : kBufWorkloads) {
             const Cycle np_cycles =
                 bench.run(w, false, Strategy::NP, kTransfer).sim.cycles;
 
             // Cache prefetching: the paper's (and prefsim's) default.
-            const AnnotatedTrace ann_c = annotateTrace(
-                base, Strategy::PREF, CacheGeometry::paperDefault());
-            const SimStats sc = simulate(ann_c.trace, cfg);
+            const ExperimentResult &rc =
+                bench.run(w, false, Strategy::PREF, kTransfer);
 
             // Non-snooping 16-entry prefetch data buffer: the compiler
             // may only prefetch provably unshared lines, and the fills
             // park beside the cache.
-            StrategyParams po = strategyParams(Strategy::PREF);
-            po.privateLinesOnly = true;
-            const AnnotatedTrace ann_p =
-                annotateTrace(base, po, CacheGeometry::paperDefault());
-            SimConfig buf_cfg = cfg;
-            buf_cfg.prefetchDataBufferEntries = 16;
-            const SimStats sp = simulate(ann_p.trace, buf_cfg);
+            const ExperimentResult &rp = bench.run(bufferSpec(w));
             std::uint64_t hazards = 0;
-            for (const auto &ps : sp.procs)
+            for (const auto &ps : rp.sim.procs)
                 hazards += ps.bufferProtectionEvents;
 
             t.addRow({workloadName(w),
-                      TextTable::count(ann_c.stats.inserted),
-                      TextTable::count(ann_p.stats.inserted),
-                      TextTable::count(ann_p.stats.droppedShared),
-                      TextTable::num(static_cast<double>(sc.cycles) /
+                      TextTable::count(rc.annotate.inserted),
+                      TextTable::count(rp.annotate.inserted),
+                      TextTable::count(rp.annotate.droppedShared),
+                      TextTable::num(static_cast<double>(rc.sim.cycles) /
                                      static_cast<double>(np_cycles)),
-                      TextTable::num(static_cast<double>(sp.cycles) /
+                      TextTable::num(static_cast<double>(rp.sim.cycles) /
                                      static_cast<double>(np_cycles))});
             if (hazards)
                 std::cout << "  (" << workloadName(w) << ": " << hazards

@@ -22,48 +22,62 @@
 
 using namespace prefsim;
 
-namespace
-{
-
-SimStats
-run(const ParallelTrace &trace, Strategy s, CoherenceProtocol proto,
-    Cycle transfer)
-{
-    const AnnotatedTrace ann =
-        annotateTrace(trace, s, CacheGeometry::paperDefault());
-    SimConfig cfg;
-    cfg.timing.dataTransfer = transfer;
-    cfg.protocol = proto;
-    return simulate(ann.trace, cfg);
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    WorkloadParams params = parseBenchArgs(argc, argv);
-    Workbench bench(params);
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    SweepEngine bench = makeEngine(opts);
+
+    auto protoSpec = [&](WorkloadKind w, Strategy s,
+                         CoherenceProtocol proto, Cycle transfer) {
+        ExperimentSpec spec = bench.makeSpec(w, false, s, transfer);
+        spec.sim.protocol = proto;
+        return spec;
+    };
+
+    const Cycle kTransfers[] = {4, 32};
+    for (const Cycle transfer : kTransfers) {
+        for (WorkloadKind w : allWorkloads()) {
+            bench.enqueue(protoSpec(w, Strategy::NP,
+                                    CoherenceProtocol::WriteInvalidate,
+                                    transfer));
+            bench.enqueue(protoSpec(w, Strategy::NP,
+                                    CoherenceProtocol::WriteUpdate,
+                                    transfer));
+            bench.enqueue(protoSpec(w, Strategy::PREF,
+                                    CoherenceProtocol::WriteUpdate,
+                                    transfer));
+        }
+    }
+    bench.runPending();
 
     std::cout << "=== Protocol ablation: write-invalidate (paper) vs "
                  "write-update ===\n\n";
 
-    for (Cycle transfer : {4u, 32u}) {
+    for (const Cycle transfer : kTransfers) {
         std::cout << "--- T=" << transfer << " ---\n";
         TextTable t({"workload", "inv: inval MR", "upd: inval MR",
                      "inv: bus ops/1k refs", "upd: bus ops/1k refs",
                      "upd/inv exec time", "upd PREF rel."});
         for (WorkloadKind w : allWorkloads()) {
-            const ParallelTrace &base = bench.baseTrace(w);
-            const SimStats inv =
-                run(base, Strategy::NP, CoherenceProtocol::WriteInvalidate,
-                    transfer);
-            const SimStats upd =
-                run(base, Strategy::NP, CoherenceProtocol::WriteUpdate,
-                    transfer);
-            const SimStats upd_pref =
-                run(base, Strategy::PREF, CoherenceProtocol::WriteUpdate,
-                    transfer);
+            const SimStats &inv =
+                bench
+                    .run(protoSpec(w, Strategy::NP,
+                                   CoherenceProtocol::WriteInvalidate,
+                                   transfer))
+                    .sim;
+            const SimStats &upd =
+                bench
+                    .run(protoSpec(w, Strategy::NP,
+                                   CoherenceProtocol::WriteUpdate,
+                                   transfer))
+                    .sim;
+            const SimStats &upd_pref =
+                bench
+                    .run(protoSpec(w, Strategy::PREF,
+                                   CoherenceProtocol::WriteUpdate,
+                                   transfer))
+                    .sim;
             auto ops_per_kref = [](const SimStats &s) {
                 return TextTable::num(
                     1000.0 * static_cast<double>(s.bus.totalOps()) /

@@ -1,52 +1,57 @@
 /**
  * @file
- * Shared option parsing for the bench harness.
+ * Shared sweep-runner entry point for the bench harness.
  *
- * Every reproduction binary accepts:
- *   --refs N    demand references per processor (default 100000)
- *   --procs N   processor count (default 16)
- *   --seed N    workload RNG seed (default 12345)
- *   --quiet     suppress informational logging
+ * Every reproduction binary accepts one uniform option set (any order):
+ *   --refs N         demand references per processor (default 100000)
+ *   --procs N        processor count (default 16)
+ *   --seed N         workload RNG seed (default 12345)
+ *   --jobs N         sweep worker threads (0 = all cores; default 1)
+ *   --cache-dir PATH persist results to an on-disk cache at PATH
+ *   --no-cache       ignore any --cache-dir; recompute everything
+ *   --csv            machine-readable CSV output (where supported)
+ *   --quiet          suppress informational logging
+ *
+ * parseBenchArgs handles the full set in a single pass, so flags can be
+ * given in any order; makeEngine turns the result into a SweepEngine.
  */
 
 #ifndef PREFSIM_BENCH_BENCH_COMMON_HH
 #define PREFSIM_BENCH_BENCH_COMMON_HH
 
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/log.hh"
 #include "core/experiment.hh"
+#include "core/sweep.hh"
 #include "stats/table.hh"
 
 namespace prefsim
 {
 
-/** Strip a boolean flag (e.g. "--csv") from argv; true if present. */
-inline bool
-stripFlag(int &argc, char **argv, const std::string &flag)
+/** Everything a reproduction binary needs from its command line. */
+struct BenchOptions
 {
-    bool found = false;
-    int w = 1;
-    for (int i = 1; i < argc; ++i) {
-        if (flag == argv[i]) {
-            found = true;
-            continue;
-        }
-        argv[w++] = argv[i];
-    }
-    argc = w;
-    return found;
-}
+    WorkloadParams params = defaultWorkloadParams();
+    SweepOptions sweep;
+    bool csv = false;
+};
 
-/** Parse the common bench options into WorkloadParams. */
-inline WorkloadParams
-parseBenchArgs(int argc, char **argv)
+/**
+ * Parse the uniform bench option set; exits on --help or bad input.
+ * When @p positional is non-null, bare arguments are collected there
+ * (in order) instead of being rejected — the examples use this for
+ * their `quickstart mp3d PREF 8`-style invocation.
+ */
+inline BenchOptions
+parseBenchArgs(int argc, char **argv,
+               std::vector<std::string> *positional = nullptr)
 {
-    WorkloadParams p = defaultWorkloadParams();
+    BenchOptions opts;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -54,23 +59,63 @@ parseBenchArgs(int argc, char **argv)
                 prefsim_fatal("missing value for option ", arg);
             return argv[++i];
         };
+        auto nextUint = [&]() -> std::uint64_t {
+            const char *text = next();
+            char *end = nullptr;
+            const std::uint64_t value = std::strtoull(text, &end, 10);
+            if (end == text || *end != '\0')
+                prefsim_fatal("option ", arg,
+                              " expects a non-negative integer, got '",
+                              text, "'");
+            return value;
+        };
         if (arg == "--refs") {
-            p.refsPerProc = std::strtoull(next(), nullptr, 10);
+            opts.params.refsPerProc = nextUint();
         } else if (arg == "--procs") {
-            p.numProcs = static_cast<unsigned>(
-                std::strtoul(next(), nullptr, 10));
+            opts.params.numProcs = static_cast<unsigned>(nextUint());
         } else if (arg == "--seed") {
-            p.seed = std::strtoull(next(), nullptr, 10);
+            opts.params.seed = nextUint();
+        } else if (arg == "--jobs") {
+            opts.sweep.jobs = static_cast<unsigned>(nextUint());
+        } else if (arg == "--cache-dir") {
+            opts.sweep.cacheDir = next();
+        } else if (arg == "--no-cache") {
+            opts.sweep.useCache = false;
+        } else if (arg == "--csv") {
+            opts.csv = true;
         } else if (arg == "--quiet") {
             setQuiet(true);
         } else if (arg == "--help" || arg == "-h") {
-            std::cout << "options: --refs N --procs N --seed N --quiet\n";
+            std::cout
+                << "usage: " << (argc > 0 ? argv[0] : "bench")
+                << " [options]\n"
+                   "  --refs N         demand references per processor\n"
+                   "  --procs N        processor count\n"
+                   "  --seed N         workload RNG seed\n"
+                   "  --jobs N         sweep worker threads "
+                   "(0 = all cores; default 1)\n"
+                   "  --cache-dir PATH persist results to an on-disk "
+                   "cache\n"
+                   "  --no-cache       ignore any --cache-dir\n"
+                   "  --csv            machine-readable CSV output\n"
+                   "  --quiet          suppress informational logging\n";
             std::exit(0);
+        } else if (positional && arg.rfind("--", 0) != 0) {
+            positional->push_back(arg);
         } else {
-            prefsim_fatal("unknown option ", arg);
+            prefsim_fatal("unknown option ", arg,
+                          " (try ", argv[0], " --help)");
         }
     }
-    return p;
+    return opts;
+}
+
+/** A SweepEngine over the parsed options (geometry overridable). */
+inline SweepEngine
+makeEngine(const BenchOptions &opts,
+           CacheGeometry geometry = CacheGeometry::paperDefault())
+{
+    return SweepEngine(opts.params, geometry, opts.sweep);
 }
 
 /** Format a measured/paper pair: "0.27 (paper 0.27)". */

@@ -23,12 +23,15 @@ using namespace prefsim;
 int
 main(int argc, char **argv)
 {
-    const bool csv = stripFlag(argc, argv, "--csv");
-    const WorkloadParams params = parseBenchArgs(argc, argv);
-    Workbench bench(params);
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    SweepEngine bench = makeEngine(opts);
     const Cycle kTransfer = 8;
 
-    if (csv) {
+    bench.enqueueGrid(allWorkloads(), {false}, allStrategies(),
+                      {kTransfer});
+    bench.runPending();
+
+    if (opts.csv) {
         CsvWriter w(std::cout);
         w.row({"workload", "strategy", "total_mr", "cpu_mr",
                "adjusted_cpu_mr"});

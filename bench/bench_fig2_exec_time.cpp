@@ -9,7 +9,8 @@
  * data-sharing-unaware strategies (paper: max 1.28 / min .94 without
  * PWS; max 1.39 / min .95 with PWS).
  *
- * --csv emits the series for replotting.
+ * --csv emits the series for replotting; --jobs N runs the 100-point
+ * sweep on N workers.
  */
 
 #include <algorithm>
@@ -24,20 +25,14 @@ using namespace prefsim;
 int
 main(int argc, char **argv)
 {
-    bool csv = false;
-    // Strip --csv before the common parse.
-    std::vector<char *> args(argv, argv + argc);
-    for (auto it = args.begin(); it != args.end();) {
-        if (std::string(*it) == "--csv") {
-            csv = true;
-            it = args.erase(it);
-        } else {
-            ++it;
-        }
-    }
-    const WorkloadParams params =
-        parseBenchArgs(static_cast<int>(args.size()), args.data());
-    Workbench bench(params);
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    SweepEngine bench = makeEngine(opts);
+
+    // The full grid (NP included: it is every column's denominator) is
+    // declared up front so the sweep runs as one parallel batch.
+    bench.enqueueGrid(allWorkloads(), {false}, allStrategies(),
+                      paperTransferLatencies());
+    bench.runPending();
 
     std::cout << "=== Figure 2: execution time relative to NP ===\n\n";
 
@@ -45,7 +40,7 @@ main(int argc, char **argv)
     double best_pws = 10.0, worst_pws = 0.0;
 
     CsvWriter writer(std::cout);
-    if (csv)
+    if (opts.csv)
         writer.row({"workload", "strategy", "transfer", "relative_time"});
 
     for (WorkloadKind w : allWorkloads()) {
@@ -57,7 +52,7 @@ main(int argc, char **argv)
             for (Cycle lat : paperTransferLatencies()) {
                 const double rel = bench.relativeExecTime(w, false, s, lat);
                 row.push_back(TextTable::num(rel));
-                if (csv) {
+                if (opts.csv) {
                     writer.row({workloadName(w), strategyName(s),
                                 std::to_string(lat), TextTable::num(rel, 4)});
                 }
@@ -71,7 +66,7 @@ main(int argc, char **argv)
             }
             t.addRow(std::move(row));
         }
-        if (!csv) {
+        if (!opts.csv) {
             std::cout << "--- " << workloadName(w) << " ---\n";
             t.print(std::cout);
             std::cout << "\n";

@@ -26,12 +26,16 @@ using namespace prefsim;
 int
 main(int argc, char **argv)
 {
-    const bool csv = stripFlag(argc, argv, "--csv");
-    const WorkloadParams params = parseBenchArgs(argc, argv);
-    Workbench bench(params);
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    SweepEngine bench = makeEngine(opts);
     const Cycle kTransfer = 8;
 
-    if (csv) {
+    bench.enqueueGrid({WorkloadKind::Topopt, WorkloadKind::Pverify,
+                       WorkloadKind::Mp3d},
+                      {false}, allStrategies(), {kTransfer});
+    bench.runPending();
+
+    if (opts.csv) {
         CsvWriter w(std::cout);
         w.row({"workload", "strategy", "non_sharing_not_pf",
                "inval_not_pf", "non_sharing_pf", "inval_pf",

@@ -12,6 +12,7 @@
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "core/experiment.hh"
+#include "core/sweep.hh"
 #include "prefetch/filter_cache.hh"
 #include "prefetch/inserter.hh"
 #include "sim/simulator.hh"
@@ -123,6 +124,25 @@ BM_SimulateSaturatedBus(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
 }
 
+void
+BM_SweepEngineGrid(benchmark::State &state)
+{
+    const WorkloadParams p = benchParams(20000);
+    SweepOptions so;
+    so.jobs = static_cast<unsigned>(state.range(0));
+    std::uint64_t sims = 0;
+    for (auto _ : state) {
+        SweepEngine engine(p, CacheGeometry::paperDefault(), so);
+        engine.enqueueGrid({WorkloadKind::Mp3d, WorkloadKind::Topopt},
+                           {false}, {Strategy::NP, Strategy::PREF},
+                           {4, 32});
+        engine.runPending();
+        sims += engine.counters().simulationsRun;
+    }
+    // items = experiment points per wall second at this worker count.
+    state.SetItemsProcessed(static_cast<std::int64_t>(sims));
+}
+
 } // namespace
 
 BENCHMARK(BM_GenerateWorkload)
@@ -135,6 +155,10 @@ BENCHMARK(BM_SimulateCycleLoop)
     ->DenseRange(0, 4, 1)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateSaturatedBus)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SweepEngineGrid)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 int
 main(int argc, char **argv)

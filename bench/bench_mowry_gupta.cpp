@@ -37,37 +37,52 @@ struct Point
     double pwsSpeedup;
 };
 
-Point
-measure(const ParallelTrace &base, const CacheGeometry &geom,
-        unsigned channels, Cycle transfer)
-{
-    SimConfig cfg;
-    cfg.geometry = geom;
-    cfg.timing.dataTransfer = transfer;
-    cfg.timing.dataChannels = channels;
-
-    const AnnotatedTrace np = annotateTrace(base, Strategy::NP, geom);
-    const SimStats s_np = simulate(np.trace, cfg);
-    const AnnotatedTrace pref = annotateTrace(base, Strategy::PREF, geom);
-    const SimStats s_pref = simulate(pref.trace, cfg);
-    const AnnotatedTrace pws = annotateTrace(base, Strategy::PWS, geom);
-    const SimStats s_pws = simulate(pws.trace, cfg);
-
-    return {s_np.avgProcUtilization(),
-            static_cast<double>(s_np.cycles) /
-                static_cast<double>(s_pref.cycles),
-            static_cast<double>(s_np.cycles) /
-                static_cast<double>(s_pws.cycles)};
-}
+constexpr WorkloadKind kWorkloads[] = {
+    WorkloadKind::Mp3d, WorkloadKind::Pverify, WorkloadKind::LocusRoute};
 
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    WorkloadParams params = parseBenchArgs(argc, argv);
-    Workbench bench(params);
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    SweepEngine bench = makeEngine(opts);
     const Cycle kTransfer = 16;
+
+    const CacheGeometry paper_cache = CacheGeometry::paperDefault();
+    const CacheGeometry tiny_cache(4 * 1024, 32, 1);
+
+    auto machineSpec = [&](WorkloadKind w, Strategy s,
+                           const CacheGeometry &geom, unsigned channels) {
+        ExperimentSpec spec = bench.makeSpec(w, false, s, kTransfer);
+        spec.geometry = geom;
+        spec.sim.timing.dataChannels = channels;
+        return spec;
+    };
+    auto measure = [&](WorkloadKind w, const CacheGeometry &geom,
+                       unsigned channels) {
+        const SimStats &np =
+            bench.run(machineSpec(w, Strategy::NP, geom, channels)).sim;
+        const SimStats &pref =
+            bench.run(machineSpec(w, Strategy::PREF, geom, channels)).sim;
+        const SimStats &pws =
+            bench.run(machineSpec(w, Strategy::PWS, geom, channels)).sim;
+        return Point{np.avgProcUtilization(),
+                     static_cast<double>(np.cycles) /
+                         static_cast<double>(pref.cycles),
+                     static_cast<double>(np.cycles) /
+                         static_cast<double>(pws.cycles)};
+    };
+
+    for (const WorkloadKind w : kWorkloads) {
+        for (const Strategy s :
+             {Strategy::NP, Strategy::PREF, Strategy::PWS}) {
+            bench.enqueue(machineSpec(w, s, paper_cache, 1));
+            bench.enqueue(machineSpec(w, s, paper_cache, 16));
+            bench.enqueue(machineSpec(w, s, tiny_cache, 16));
+        }
+    }
+    bench.runPending();
 
     std::cout
         << "=== 4.2 reconciliation with Mowry & Gupta (T=" << kTransfer
@@ -78,18 +93,12 @@ main(int argc, char **argv)
         << "machine C: contention-free + 4 KB caches (their miss-rate "
            "regime)\n\n";
 
-    const CacheGeometry paper_cache = CacheGeometry::paperDefault();
-    const CacheGeometry tiny_cache(4 * 1024, 32, 1);
-
     TextTable t({"workload", "A util/PREF/PWS", "B util/PREF/PWS",
                  "C util/PREF/PWS"});
-    for (WorkloadKind w :
-         {WorkloadKind::Mp3d, WorkloadKind::Pverify,
-          WorkloadKind::LocusRoute}) {
-        const ParallelTrace &base = bench.baseTrace(w);
-        const Point a = measure(base, paper_cache, 1, kTransfer);
-        const Point b = measure(base, paper_cache, 16, kTransfer);
-        const Point c = measure(base, tiny_cache, 16, kTransfer);
+    for (const WorkloadKind w : kWorkloads) {
+        const Point a = measure(w, paper_cache, 1);
+        const Point b = measure(w, paper_cache, 16);
+        const Point c = measure(w, tiny_cache, 16);
         auto cell = [](const Point &p) {
             return TextTable::num(p.npUtil) + " / " +
                    TextTable::num(p.prefSpeedup) + "x / " +

@@ -21,8 +21,15 @@ using namespace prefsim;
 int
 main(int argc, char **argv)
 {
-    const WorkloadParams params = parseBenchArgs(argc, argv);
-    Workbench bench(params);
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    SweepEngine bench = makeEngine(opts);
+
+    bench.enqueueGrid(allWorkloads(), {false}, {Strategy::NP}, {4, 32});
+    for (WorkloadKind w : allWorkloads()) {
+        if (hasRestructuredVariant(w))
+            bench.enqueueGrid({w}, {true}, {Strategy::NP}, {4, 32});
+    }
+    bench.runPending();
 
     std::cout << "=== Processor utilization before prefetching (4.2) "
                  "(measured, paper value in parentheses) ===\n\n";

@@ -20,13 +20,16 @@ using namespace prefsim;
 int
 main(int argc, char **argv)
 {
-    WorkloadParams base = parseBenchArgs(argc, argv);
+    const BenchOptions base = parseBenchArgs(argc, argv);
 
     std::cout << "=== Sensitivity: processor count ===\n\n";
     for (unsigned procs : {4u, 8u, 16u}) {
-        WorkloadParams p = base;
-        p.numProcs = procs;
-        Workbench bench(p);
+        BenchOptions o = base;
+        o.params.numProcs = procs;
+        SweepEngine bench = makeEngine(o);
+        bench.enqueueGrid(allWorkloads(), {false},
+                          {Strategy::NP, Strategy::PREF}, {4, 32});
+        bench.runPending();
         std::cout << "--- " << procs << " processors ---\n";
         TextTable t({"workload", "NP bus@4", "NP bus@32", "NP util@4",
                      "PREF rel@4", "PREF rel@32"});

@@ -20,8 +20,9 @@ using namespace prefsim;
 int
 main(int argc, char **argv)
 {
-    const WorkloadParams params = parseBenchArgs(argc, argv);
-    Workbench bench(params);
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    SweepEngine bench = makeEngine(opts);
+    const WorkloadParams &params = bench.params();
 
     std::cout << "=== Table 1: workload characteristics ("
               << params.numProcs << " processes, ~" << params.refsPerProc

@@ -23,11 +23,14 @@ using namespace prefsim;
 int
 main(int argc, char **argv)
 {
-    const bool csv = stripFlag(argc, argv, "--csv");
-    const WorkloadParams params = parseBenchArgs(argc, argv);
-    Workbench bench(params);
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    SweepEngine bench = makeEngine(opts);
 
-    if (csv) {
+    bench.enqueueGrid(allWorkloads(), {false}, allStrategies(),
+                      paperTransferLatencies());
+    bench.runPending();
+
+    if (opts.csv) {
         CsvWriter w(std::cout);
         w.row({"workload", "strategy", "transfer", "bus_util",
                "paper_bus_util"});

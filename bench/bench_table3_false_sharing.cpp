@@ -17,9 +17,14 @@ using namespace prefsim;
 int
 main(int argc, char **argv)
 {
-    const WorkloadParams params = parseBenchArgs(argc, argv);
-    Workbench bench(params);
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    SweepEngine bench = makeEngine(opts);
+    SweepEngine wide = makeEngine(opts, CacheGeometry(32 * 1024, 64));
     const Cycle kTransfer = 8;
+
+    bench.enqueueGrid(allWorkloads(), {false}, {Strategy::NP},
+                      {kTransfer});
+    bench.runPending();
 
     std::cout << "=== Table 3: invalidation and false-sharing miss rates "
                  "(NP, T=8) ===\n\n";
@@ -40,8 +45,10 @@ main(int argc, char **argv)
                  "false sharing for most benchmarks; false sharing "
                  "rises with larger blocks:\n";
     TextTable b({"workload", "FS/inval 32B line", "FS/inval 64B line"});
+    wide.enqueueGrid({WorkloadKind::Topopt, WorkloadKind::Pverify},
+                     {false}, {Strategy::NP}, {kTransfer});
+    wide.runPending();
     for (WorkloadKind w : {WorkloadKind::Topopt, WorkloadKind::Pverify}) {
-        Workbench wide(params, CacheGeometry(32 * 1024, 64));
         const auto &r32 = bench.run(w, false, Strategy::NP, kTransfer);
         const auto &r64 = wide.run(w, false, Strategy::NP, kTransfer);
         auto share = [](const ExperimentResult &r) {

@@ -20,9 +20,18 @@ using namespace prefsim;
 int
 main(int argc, char **argv)
 {
-    const WorkloadParams params = parseBenchArgs(argc, argv);
-    Workbench bench(params);
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    SweepEngine bench = makeEngine(opts);
     const Cycle kTransfer = 8;
+
+    for (WorkloadKind w : allWorkloads()) {
+        if (!hasRestructuredVariant(w))
+            continue;
+        bench.enqueueGrid({w}, {false, true},
+                          {Strategy::NP, Strategy::PREF, Strategy::PWS},
+                          {kTransfer});
+    }
+    bench.runPending();
 
     std::cout << "=== Table 4: miss rates at T=8, restructured programs "
                  "===\n\n";

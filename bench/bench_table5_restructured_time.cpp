@@ -19,8 +19,16 @@ using namespace prefsim;
 int
 main(int argc, char **argv)
 {
-    const WorkloadParams params = parseBenchArgs(argc, argv);
-    Workbench bench(params);
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    SweepEngine bench = makeEngine(opts);
+
+    for (WorkloadKind w : allWorkloads()) {
+        if (!hasRestructuredVariant(w))
+            continue;
+        bench.enqueueGrid({w}, {false, true}, allStrategies(),
+                          paperTransferLatencies());
+    }
+    bench.runPending();
 
     std::cout << "=== Table 5: relative execution times, restructured "
                  "programs ===\n(execution time relative to the "

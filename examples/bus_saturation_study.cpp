@@ -10,11 +10,12 @@
  * execution-time benefit.
  *
  * Usage: bus_saturation_study [workload] [strategy]
+ * plus the shared sweep flags (--jobs, --cache-dir, ...; see --help).
  */
 
 #include <iostream>
 
-#include "core/experiment.hh"
+#include "bench/bench_common.hh"
 #include "stats/table.hh"
 
 using namespace prefsim;
@@ -22,12 +23,14 @@ using namespace prefsim;
 int
 main(int argc, char **argv)
 {
+    std::vector<std::string> pos;
+    const BenchOptions opts = parseBenchArgs(argc, argv, &pos);
     const WorkloadKind kind =
-        argc > 1 ? workloadFromName(argv[1]) : WorkloadKind::Mp3d;
+        pos.size() > 0 ? workloadFromName(pos[0]) : WorkloadKind::Mp3d;
     const Strategy strategy =
-        argc > 2 ? strategyFromName(argv[2]) : Strategy::PREF;
+        pos.size() > 1 ? strategyFromName(pos[1]) : Strategy::PREF;
 
-    Workbench bench;
+    SweepEngine bench = makeEngine(opts);
     std::cout << "bus saturation study: " << workloadName(kind) << " / "
               << strategyName(strategy) << "\n\n";
 
@@ -35,6 +38,8 @@ main(int argc, char **argv)
                  "NP CPU MR", "pf adj CPU MR", "pf-in-progress",
                  "rel. exec time"});
     const std::vector<Cycle> sweep = {2, 4, 8, 12, 16, 24, 32, 48};
+    bench.enqueueGrid({kind}, {false}, {Strategy::NP, strategy}, sweep);
+    bench.runPending();
     for (Cycle lat : sweep) {
         const auto &np = bench.run(kind, false, Strategy::NP, lat);
         const auto &pf = bench.run(kind, false, strategy, lat);

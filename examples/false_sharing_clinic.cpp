@@ -11,12 +11,13 @@
  * specialist (PWS).
  *
  * Usage: false_sharing_clinic [topopt|pverify] [data-transfer]
+ * plus the shared sweep flags (--jobs, --cache-dir, ...; see --help).
  */
 
 #include <cstdlib>
 #include <iostream>
 
-#include "core/experiment.hh"
+#include "bench/bench_common.hh"
 #include "stats/table.hh"
 
 using namespace prefsim;
@@ -24,17 +25,23 @@ using namespace prefsim;
 int
 main(int argc, char **argv)
 {
+    std::vector<std::string> pos;
+    const BenchOptions opts = parseBenchArgs(argc, argv, &pos);
     const WorkloadKind kind =
-        argc > 1 ? workloadFromName(argv[1]) : WorkloadKind::Pverify;
+        pos.size() > 0 ? workloadFromName(pos[0]) : WorkloadKind::Pverify;
     const Cycle transfer =
-        argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
+        pos.size() > 1 ? std::strtoul(pos[1].c_str(), nullptr, 10) : 8;
     if (!hasRestructuredVariant(kind)) {
         std::cerr << "no restructured variant for " << workloadName(kind)
                   << " (the paper restructured topopt and pverify)\n";
         return 1;
     }
 
-    Workbench bench;
+    SweepEngine bench = makeEngine(opts);
+    bench.enqueueGrid({kind}, {false, true},
+                      {Strategy::NP, Strategy::PREF, Strategy::PWS},
+                      {transfer});
+    bench.runPending();
     std::cout << "false-sharing clinic: " << workloadName(kind) << " @ T="
               << transfer << "\n\n";
 

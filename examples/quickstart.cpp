@@ -4,6 +4,7 @@
  *
  * Usage: quickstart [workload] [strategy] [data-transfer-cycles]
  *   e.g. quickstart mp3d PREF 8
+ * plus the shared sweep flags (--jobs, --cache-dir, ...; see --help).
  *
  * Walks the full pipeline the paper describes: synthesize a parallel
  * trace, run the oracle prefetch-insertion pass, simulate the bus-based
@@ -14,7 +15,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/experiment.hh"
+#include "bench/bench_common.hh"
 #include "stats/table.hh"
 
 using namespace prefsim;
@@ -22,19 +23,25 @@ using namespace prefsim;
 int
 main(int argc, char **argv)
 {
+    std::vector<std::string> pos;
+    const BenchOptions opts = parseBenchArgs(argc, argv, &pos);
     const WorkloadKind kind =
-        argc > 1 ? workloadFromName(argv[1]) : WorkloadKind::Mp3d;
+        pos.size() > 0 ? workloadFromName(pos[0]) : WorkloadKind::Mp3d;
     const Strategy strategy =
-        argc > 2 ? strategyFromName(argv[2]) : Strategy::PREF;
-    const Cycle transfer = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 8;
+        pos.size() > 1 ? strategyFromName(pos[1]) : Strategy::PREF;
+    const Cycle transfer =
+        pos.size() > 2 ? std::strtoul(pos[2].c_str(), nullptr, 10) : 8;
 
     std::cout << "prefsim quickstart: " << workloadName(kind) << " with "
               << strategyName(strategy) << " on a " << transfer
               << "-cycle data bus (100-cycle memory latency)\n\n";
 
-    // A Workbench caches traces and runs; NP comes free with the
+    // A SweepEngine caches traces and runs; NP comes free with the
     // relative-time query.
-    Workbench bench;
+    SweepEngine bench = makeEngine(opts);
+    bench.enqueue(kind, false, Strategy::NP, transfer);
+    bench.enqueue(kind, false, strategy, transfer);
+    bench.runPending();
     const ExperimentResult &np =
         bench.run(kind, false, Strategy::NP, transfer);
     const ExperimentResult &r = bench.run(kind, false, strategy, transfer);

@@ -1,21 +1,48 @@
 #!/bin/sh
-# Full verification pass: configure, build, test, and smoke every
-# reproduction binary at reduced size. Usage: scripts/check.sh [builddir]
+# Full verification pass: configure, build and test two configurations
+# (plain, then ThreadSanitizer for the sweep engine's worker pool), then
+# smoke every reproduction binary at reduced size — serial, parallel,
+# and through the on-disk result cache.
+# Usage: scripts/check.sh [builddir]
 set -e
 BUILD=${1:-build}
-cmake -B "$BUILD" -G Ninja
-cmake --build "$BUILD"
-ctest --test-dir "$BUILD" -j "$(nproc)" --output-on-failure
+JOBS=$(nproc)
+
+# --- configuration 1: plain -------------------------------------------
+cmake -B "$BUILD"
+cmake --build "$BUILD" -j "$JOBS"
+ctest --test-dir "$BUILD" -j "$JOBS" --output-on-failure
+
+CACHE=$(mktemp -d)
+trap 'rm -rf "$CACHE"' EXIT
 for b in "$BUILD"/bench/bench_*; do
     name=$(basename "$b")
     if [ "$name" = bench_micro_components ]; then
         "$b" --benchmark_min_time=0.01s > /dev/null
     else
-        "$b" --refs 20000 --procs 8 > /dev/null
+        "$b" --refs 20000 --procs 8 --jobs "$JOBS" \
+            --cache-dir "$CACHE" > /dev/null
     fi
     echo "ok: $name"
 done
 for e in quickstart false_sharing_clinic bus_saturation_study; do
-    "$BUILD"/examples/$e > /dev/null && echo "ok: $e"
+    "$BUILD"/examples/$e --jobs "$JOBS" > /dev/null && echo "ok: $e"
 done
+
+# Parallel determinism: --jobs N must emit the same bytes as serial.
+"$BUILD"/bench/bench_fig2_exec_time --refs 20000 --procs 8 --csv \
+    --quiet > "$CACHE/serial.csv"
+"$BUILD"/bench/bench_fig2_exec_time --refs 20000 --procs 8 --csv \
+    --quiet --jobs "$JOBS" > "$CACHE/parallel.csv"
+cmp "$CACHE/serial.csv" "$CACHE/parallel.csv"
+echo "ok: parallel output identical to serial"
+
+# --- configuration 2: ThreadSanitizer ---------------------------------
+TSAN_BUILD="$BUILD-tsan"
+cmake -B "$TSAN_BUILD" -DPREFSIM_SANITIZE=thread -DPREFSIM_BUILD_BENCH=OFF \
+    -DPREFSIM_BUILD_EXAMPLES=OFF
+cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_sweep
+"$TSAN_BUILD"/tests/test_sweep
+echo "ok: test_sweep clean under ThreadSanitizer"
+
 echo "all checks passed"

@@ -1,26 +1,92 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <utility>
 
 namespace prefsim
 {
 
 namespace
 {
-bool g_quiet = false;
+
+std::atomic<bool> g_quiet{false};
+
+/** Serializes every emission and guards the injected sink. */
+std::mutex &
+logMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+LogSink &
+sinkSlot()
+{
+    static LogSink sink;
+    return sink;
+}
+
+void
+defaultSink(LogLevel level, const std::string &msg)
+{
+    switch (level) {
+      case LogLevel::Inform:
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+        break;
+      case LogLevel::Warn:
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+        break;
+      case LogLevel::Fatal:
+      case LogLevel::Panic:
+        std::fprintf(stderr, "%s\n", msg.c_str());
+        break;
+    }
+}
+
+void
+emit(LogLevel level, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    if (sinkSlot())
+        sinkSlot()(level, msg);
+    else
+        defaultSink(level, msg);
+}
+
+/**
+ * Flush both standard streams under the log mutex so a worker thread's
+ * terminating message is never lost to unflushed buffers (and never
+ * interleaves with another thread's output).
+ */
+void
+flushStreams()
+{
+    std::fflush(stdout);
+    std::fflush(stderr);
+}
+
 } // namespace
+
+void
+setLogSink(LogSink sink)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    sinkSlot() = std::move(sink);
+}
 
 void
 setQuiet(bool q)
 {
-    g_quiet = q;
+    g_quiet.store(q, std::memory_order_relaxed);
 }
 
 bool
 quiet()
 {
-    return g_quiet;
+    return g_quiet.load(std::memory_order_relaxed);
 }
 
 namespace detail
@@ -29,31 +95,36 @@ namespace detail
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
-    std::fflush(stderr);
+    emit(LogLevel::Panic,
+         format("panic: ", msg, "\n  at ", file, ":", line));
+    flushStreams();
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file, line);
-    std::fflush(stderr);
-    std::exit(1);
+    emit(LogLevel::Fatal,
+         format("fatal: ", msg, "\n  at ", file, ":", line));
+    flushStreams();
+    // _Exit instead of exit: a fatal raised on a sweep worker thread
+    // must not run static destructors while sibling threads still hold
+    // references into them. Streams were flushed above.
+    std::_Exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (!g_quiet)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (!quiet())
+        emit(LogLevel::Warn, msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!g_quiet)
-        std::fprintf(stdout, "info: %s\n", msg.c_str());
+    if (!quiet())
+        emit(LogLevel::Inform, msg);
 }
 
 } // namespace detail

@@ -7,16 +7,46 @@
  *            inconsistent parameters). Exits with status 1.
  * warn()   — something works but is suspicious or approximated.
  * inform() — plain status output.
+ *
+ * All entry points are safe to call concurrently from worker threads:
+ * message emission is serialized through one mutex-guarded sink, and the
+ * terminating paths flush both standard streams before ending the
+ * process. The sink is injectable (setLogSink) so embedders — and the
+ * sweep engine's tests — can capture or redirect diagnostics.
  */
 
 #ifndef PREFSIM_COMMON_LOG_HH
 #define PREFSIM_COMMON_LOG_HH
 
+#include <functional>
 #include <sstream>
 #include <string>
 
 namespace prefsim
 {
+
+/** Severity of one log message, as seen by an injected sink. */
+enum class LogLevel
+{
+    Inform, ///< Plain status output (stdout by default).
+    Warn,   ///< Suspicious but non-fatal (stderr by default).
+    Fatal,  ///< User error; the process exits after emission.
+    Panic   ///< Simulator bug; the process aborts after emission.
+};
+
+/**
+ * Receives every emitted message (already formatted, no trailing
+ * newline). Called with the global log mutex held: sinks need no
+ * locking of their own but must not log re-entrantly.
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Install @p sink as the destination of all log output; pass nullptr to
+ * restore the default stdout/stderr sink. Quiet suppression of
+ * warn/inform happens before the sink is invoked.
+ */
+void setLogSink(LogSink sink);
 
 namespace detail
 {
@@ -29,10 +59,10 @@ namespace detail
 [[noreturn]] void fatalImpl(const char *file, int line,
                             const std::string &msg);
 
-/** Print a warning to stderr. */
+/** Print a warning to the sink (stderr by default). */
 void warnImpl(const std::string &msg);
 
-/** Print an informational message to stdout. */
+/** Print an informational message to the sink (stdout by default). */
 void informImpl(const std::string &msg);
 
 /** Fold a list of streamable values into one string. */

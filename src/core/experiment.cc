@@ -36,6 +36,22 @@ ExperimentSpec::label() const
     return os.str();
 }
 
+StrategyParams
+ExperimentSpec::annotationParams() const
+{
+    return strategyOverride ? *strategyOverride
+                            : strategyParams(strategy);
+}
+
+SimConfig
+ExperimentSpec::simConfig() const
+{
+    SimConfig cfg = sim;
+    cfg.geometry = geometry;
+    cfg.timing.dataTransfer = dataTransfer;
+    return cfg;
+}
+
 ExperimentResult
 runExperiment(const ExperimentSpec &spec)
 {
@@ -43,16 +59,12 @@ runExperiment(const ExperimentSpec &spec)
     wp.restructured = spec.restructured;
     const ParallelTrace base = generateWorkload(spec.workload, wp);
     AnnotatedTrace annotated =
-        annotateTrace(base, spec.strategy, spec.geometry);
-
-    SimConfig cfg;
-    cfg.geometry = spec.geometry;
-    cfg.timing.dataTransfer = spec.dataTransfer;
+        annotateTrace(base, spec.annotationParams(), spec.geometry);
 
     ExperimentResult result;
     result.spec = spec;
     result.annotate = annotated.stats;
-    result.sim = simulate(annotated.trace, cfg);
+    result.sim = simulate(annotated.trace, spec.simConfig());
     return result;
 }
 

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,27 @@ struct ExperimentSpec
     Cycle dataTransfer = 8;
     WorkloadParams params = defaultWorkloadParams();
     CacheGeometry geometry = CacheGeometry::paperDefault();
+
+    /**
+     * Custom annotation parameters for ablations (distance sweeps, the
+     * read-then-write detector, ...); nullopt uses the paper's
+     * strategyParams(strategy).
+     */
+    std::optional<StrategyParams> strategyOverride;
+
+    /**
+     * Simulator knobs beyond the fields above (buffer depths, victim
+     * entries, coherence protocol, channel counts, ...). Its geometry
+     * and timing.dataTransfer members are shadowed: simConfig()
+     * overrides them from the spec's own geometry/dataTransfer fields.
+     */
+    SimConfig sim;
+
+    /** The effective annotation parameters (override or paper preset).*/
+    StrategyParams annotationParams() const;
+
+    /** The full simulator configuration this spec runs under. */
+    SimConfig simConfig() const;
 
     /** Display label, e.g. "topopt-r/PWS@8". */
     std::string label() const;

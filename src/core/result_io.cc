@@ -1,0 +1,341 @@
+#include "core/result_io.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "stats/json.hh"
+
+namespace prefsim
+{
+
+namespace
+{
+
+/** Shortest round-trip-exact formatting of a tunable double. */
+std::string
+fmtDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+appendTunables(std::ostream &os, const WorkloadTunables &t)
+{
+    const auto &to = t.topopt;
+    os << "topopt=" << to.numCells << "," << to.cellBytes << ","
+       << fmtDouble(to.remoteMoveProb) << "," << to.neighbourhoodCells
+       << "," << to.neighbourhoodSpacing << ","
+       << to.neighbourhoodSpacingRestructured << "," << to.movesPerStep
+       << "," << to.numLocks << "," << to.scratchRefs << ","
+       << to.scratchOffset << "," << to.conflictOffset << ","
+       << fmtDouble(to.conflictProb) << ","
+       << fmtDouble(to.conflictProbRestructured) << ","
+       << fmtDouble(to.computeMean) << ";";
+    const auto &pv = t.pverify;
+    os << "pverify=" << pv.numGates << "," << pv.gateBytes << ","
+       << pv.batchGates << "," << pv.resultBytes << ","
+       << pv.resultBytesRestructured << "," << pv.faninReads << ","
+       << fmtDouble(pv.faninLocalProb) << "," << pv.faninWindow << ","
+       << fmtDouble(pv.computeMean) << "," << pv.stackRefs << ","
+       << pv.queueLock << "," << pv.popEveryBatches << ";";
+    const auto &lr = t.locusroute;
+    os << "locusroute=" << lr.gridWidth << "," << lr.gridHeight << ","
+       << lr.wireCells << "," << lr.wireWrites << ","
+       << fmtDouble(lr.crossProb) << "," << lr.wiresPerStep << ","
+       << lr.walkStride << "," << lr.privateRefs << "," << lr.coldRefs
+       << "," << fmtDouble(lr.computeMean) << ";";
+    const auto &mp = t.mp3d;
+    os << "mp3d=" << mp.particlesPerProc << "," << mp.particleBytes
+       << "," << mp.particleWriteEvery << "," << mp.numCells << ","
+       << mp.cellBytes << "," << fmtDouble(mp.remoteCellProb) << ","
+       << mp.localClusterCells << "," << fmtDouble(mp.cellWriteProb)
+       << "," << fmtDouble(mp.computeMean) << "," << mp.scratchRefs
+       << "," << fmtDouble(mp.imbalance) << ";";
+    const auto &wa = t.water;
+    os << "water=" << wa.molsPerProc << "," << wa.molBytes << ","
+       << wa.partnersPerMol << "," << fmtDouble(wa.computeMean) << ","
+       << fmtDouble(wa.partnerWriteProb) << "," << fmtDouble(wa.coldProb)
+       << "," << wa.numLocks << "," << wa.accumOffset << ","
+       << wa.coldOffset << ";";
+}
+
+} // namespace
+
+std::string
+traceStageKey(const ExperimentSpec &spec)
+{
+    std::ostringstream os;
+    const WorkloadParams &p = spec.params;
+    os << "prefsim-v1;workload=" << workloadName(spec.workload)
+       << ";restructured=" << spec.restructured
+       << ";procs=" << p.numProcs << ";refs=" << p.refsPerProc
+       << ";seed=" << p.seed << ";dataScale=" << fmtDouble(p.dataScale)
+       << ";";
+    appendTunables(os, p.tunables);
+    return os.str();
+}
+
+std::string
+annotateStageKey(const ExperimentSpec &spec)
+{
+    std::ostringstream os;
+    os << traceStageKey(spec);
+    const CacheGeometry &g = spec.geometry;
+    os << "geom=" << g.sizeBytes() << "/" << g.lineBytes() << "/"
+       << g.ways() << ";";
+    const StrategyParams sp = spec.annotationParams();
+    os << "annotate=" << sp.enabled << "," << sp.distanceCycles << ","
+       << sp.exclusiveWrites << "," << sp.exclusiveReadThenWrite << ","
+       << sp.rtwWindowCycles << "," << sp.prefetchWriteShared << ","
+       << sp.pwsFilterLines << "," << sp.dontCrossSync << ","
+       << sp.privateLinesOnly << ";";
+    return os.str();
+}
+
+std::string
+experimentCacheKey(const ExperimentSpec &spec)
+{
+    std::ostringstream os;
+    os << annotateStageKey(spec);
+    const SimConfig cfg = spec.simConfig();
+    os << "timing=" << cfg.timing.totalLatency << ","
+       << cfg.timing.dataTransfer << "," << cfg.timing.upgradeOccupancy
+       << "," << cfg.timing.dataChannels
+       << ";bufDepth=" << cfg.prefetchBufferDepth
+       << ";victim=" << cfg.victimEntries
+       << ";pfDataBuf=" << cfg.prefetchDataBufferEntries
+       << ";protocol=" << static_cast<int>(cfg.protocol)
+       << ";warmup=" << cfg.warmupEpisodes << ";";
+    return os.str();
+}
+
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+cacheFileName(const std::string &key)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64 ".json", fnv1a64(key));
+    return buf;
+}
+
+namespace
+{
+
+constexpr const char *kFormatTag = "prefsim-sweep-result-v1";
+
+void
+writeMisses(JsonWriter &j, const MissBreakdown &m)
+{
+    j.beginObject();
+    j.key("nonSharingNotPrefetched").value(m.nonSharingNotPrefetched);
+    j.key("nonSharingPrefetched").value(m.nonSharingPrefetched);
+    j.key("invalNotPrefetched").value(m.invalNotPrefetched);
+    j.key("invalPrefetched").value(m.invalPrefetched);
+    j.key("prefetchInProgress").value(m.prefetchInProgress);
+    j.key("falseSharing").value(m.falseSharing);
+    j.endObject();
+}
+
+bool
+readU64(const JsonValue &obj, const char *name, std::uint64_t &out)
+{
+    const JsonValue *v = obj.find(name);
+    if (!v || !v->isNumber())
+        return false;
+    out = v->asU64();
+    return true;
+}
+
+bool
+readMisses(const JsonValue &obj, MissBreakdown &m)
+{
+    return readU64(obj, "nonSharingNotPrefetched",
+                   m.nonSharingNotPrefetched) &&
+           readU64(obj, "nonSharingPrefetched", m.nonSharingPrefetched) &&
+           readU64(obj, "invalNotPrefetched", m.invalNotPrefetched) &&
+           readU64(obj, "invalPrefetched", m.invalPrefetched) &&
+           readU64(obj, "prefetchInProgress", m.prefetchInProgress) &&
+           readU64(obj, "falseSharing", m.falseSharing);
+}
+
+} // namespace
+
+void
+writeResultJson(std::ostream &os, const ExperimentResult &result,
+                const std::string &key)
+{
+    JsonWriter j(os);
+    j.beginObject();
+    j.key("format").value(kFormatTag);
+    j.key("key").value(key);
+    j.key("label").value(result.spec.label());
+
+    const AnnotateStats &a = result.annotate;
+    j.key("annotate").beginObject();
+    j.key("oracleCandidates").value(a.oracleCandidates);
+    j.key("pwsCandidates").value(a.pwsCandidates);
+    j.key("inserted").value(a.inserted);
+    j.key("insertedExclusive").value(a.insertedExclusive);
+    j.key("rtwExclusive").value(a.rtwExclusive);
+    j.key("droppedShared").value(a.droppedShared);
+    j.key("demandRefs").value(a.demandRefs);
+    j.endObject();
+
+    const SimStats &s = result.sim;
+    j.key("sim").beginObject();
+    j.key("cycles").value(s.cycles);
+    j.key("bus").beginObject();
+    j.key("busyCycles").value(s.bus.busyCycles);
+    j.key("ops").beginArray();
+    for (const std::uint64_t op : s.bus.opCount)
+        j.value(op);
+    j.endArray();
+    j.key("queueWaitDemand").value(s.bus.queueWaitDemand);
+    j.key("queueWaitPrefetch").value(s.bus.queueWaitPrefetch);
+    j.key("grantsDemand").value(s.bus.grantsDemand);
+    j.key("grantsPrefetch").value(s.bus.grantsPrefetch);
+    j.endObject();
+
+    j.key("procs").beginArray();
+    for (const ProcStats &p : s.procs) {
+        j.beginObject();
+        j.key("busy").value(p.busy);
+        j.key("stallDemand").value(p.stallDemand);
+        j.key("stallUpgrade").value(p.stallUpgrade);
+        j.key("stallPrefetchQueue").value(p.stallPrefetchQueue);
+        j.key("spinLock").value(p.spinLock);
+        j.key("waitBarrier").value(p.waitBarrier);
+        j.key("demandRefs").value(p.demandRefs);
+        j.key("reads").value(p.reads);
+        j.key("writes").value(p.writes);
+        j.key("prefetchesExecuted").value(p.prefetchesExecuted);
+        j.key("prefetchMisses").value(p.prefetchMisses);
+        j.key("prefetchesDroppedResident")
+            .value(p.prefetchesDroppedResident);
+        j.key("prefetchesDroppedDuplicate")
+            .value(p.prefetchesDroppedDuplicate);
+        j.key("upgradesIssued").value(p.upgradesIssued);
+        j.key("victimHits").value(p.victimHits);
+        j.key("prefetchBufferHits").value(p.prefetchBufferHits);
+        j.key("bufferProtectionEvents").value(p.bufferProtectionEvents);
+        j.key("finishedAt").value(p.finishedAt);
+        j.key("misses");
+        writeMisses(j, p.misses);
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject(); // sim
+    j.endObject();
+    os << "\n";
+}
+
+std::optional<ExperimentResult>
+readResultJson(const std::string &text, const ExperimentSpec &spec,
+               const std::string &key)
+{
+    const std::optional<JsonValue> doc = parseJson(text);
+    if (!doc || !doc->isObject())
+        return std::nullopt;
+
+    const JsonValue *format = doc->find("format");
+    if (!format || !format->isString() || format->asString() != kFormatTag)
+        return std::nullopt;
+    const JsonValue *stored_key = doc->find("key");
+    if (!stored_key || !stored_key->isString() ||
+        stored_key->asString() != key)
+        return std::nullopt;
+
+    ExperimentResult result;
+    result.spec = spec;
+
+    const JsonValue *ann = doc->find("annotate");
+    if (!ann || !ann->isObject())
+        return std::nullopt;
+    AnnotateStats &a = result.annotate;
+    if (!readU64(*ann, "oracleCandidates", a.oracleCandidates) ||
+        !readU64(*ann, "pwsCandidates", a.pwsCandidates) ||
+        !readU64(*ann, "inserted", a.inserted) ||
+        !readU64(*ann, "insertedExclusive", a.insertedExclusive) ||
+        !readU64(*ann, "rtwExclusive", a.rtwExclusive) ||
+        !readU64(*ann, "droppedShared", a.droppedShared) ||
+        !readU64(*ann, "demandRefs", a.demandRefs))
+        return std::nullopt;
+
+    const JsonValue *sim = doc->find("sim");
+    if (!sim || !sim->isObject())
+        return std::nullopt;
+    SimStats &s = result.sim;
+    if (!readU64(*sim, "cycles", s.cycles))
+        return std::nullopt;
+
+    const JsonValue *bus = sim->find("bus");
+    if (!bus || !bus->isObject())
+        return std::nullopt;
+    if (!readU64(*bus, "busyCycles", s.bus.busyCycles) ||
+        !readU64(*bus, "queueWaitDemand", s.bus.queueWaitDemand) ||
+        !readU64(*bus, "queueWaitPrefetch", s.bus.queueWaitPrefetch) ||
+        !readU64(*bus, "grantsDemand", s.bus.grantsDemand) ||
+        !readU64(*bus, "grantsPrefetch", s.bus.grantsPrefetch))
+        return std::nullopt;
+    const JsonValue *ops = bus->find("ops");
+    if (!ops || !ops->isArray() || ops->array().size() != 5)
+        return std::nullopt;
+    for (std::size_t i = 0; i < 5; ++i) {
+        if (!ops->array()[i].isNumber())
+            return std::nullopt;
+        s.bus.opCount[i] = ops->array()[i].asU64();
+    }
+
+    const JsonValue *procs = sim->find("procs");
+    if (!procs || !procs->isArray())
+        return std::nullopt;
+    s.procs.reserve(procs->array().size());
+    for (const JsonValue &pv : procs->array()) {
+        if (!pv.isObject())
+            return std::nullopt;
+        ProcStats p;
+        const JsonValue *misses = pv.find("misses");
+        if (!readU64(pv, "busy", p.busy) ||
+            !readU64(pv, "stallDemand", p.stallDemand) ||
+            !readU64(pv, "stallUpgrade", p.stallUpgrade) ||
+            !readU64(pv, "stallPrefetchQueue", p.stallPrefetchQueue) ||
+            !readU64(pv, "spinLock", p.spinLock) ||
+            !readU64(pv, "waitBarrier", p.waitBarrier) ||
+            !readU64(pv, "demandRefs", p.demandRefs) ||
+            !readU64(pv, "reads", p.reads) ||
+            !readU64(pv, "writes", p.writes) ||
+            !readU64(pv, "prefetchesExecuted", p.prefetchesExecuted) ||
+            !readU64(pv, "prefetchMisses", p.prefetchMisses) ||
+            !readU64(pv, "prefetchesDroppedResident",
+                     p.prefetchesDroppedResident) ||
+            !readU64(pv, "prefetchesDroppedDuplicate",
+                     p.prefetchesDroppedDuplicate) ||
+            !readU64(pv, "upgradesIssued", p.upgradesIssued) ||
+            !readU64(pv, "victimHits", p.victimHits) ||
+            !readU64(pv, "prefetchBufferHits", p.prefetchBufferHits) ||
+            !readU64(pv, "bufferProtectionEvents",
+                     p.bufferProtectionEvents) ||
+            !readU64(pv, "finishedAt", p.finishedAt) ||
+            !misses || !misses->isObject() ||
+            !readMisses(*misses, p.misses))
+            return std::nullopt;
+        s.procs.push_back(p);
+    }
+    return result;
+}
+
+} // namespace prefsim

@@ -1,0 +1,373 @@
+#include "core/sweep.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/log.hh"
+#include "core/result_io.hh"
+#include "core/thread_pool.hh"
+
+namespace prefsim
+{
+
+namespace fs = std::filesystem;
+
+SweepEngine::SweepEngine(WorkloadParams params, CacheGeometry geometry,
+                         SweepOptions options)
+    : params_(params), geometry_(geometry), options_(std::move(options))
+{
+    if (cachingEnabled()) {
+        std::error_code ec;
+        fs::create_directories(options_.cacheDir, ec);
+        if (ec) {
+            prefsim_warn("cannot create cache directory ",
+                         options_.cacheDir, " (", ec.message(),
+                         "); caching disabled");
+            options_.useCache = false;
+        }
+    }
+}
+
+SweepEngine::~SweepEngine() = default;
+
+ExperimentSpec
+SweepEngine::makeSpec(WorkloadKind kind, bool restructured,
+                      Strategy strategy, Cycle data_transfer) const
+{
+    ExperimentSpec spec;
+    spec.workload = kind;
+    spec.restructured = restructured;
+    spec.strategy = strategy;
+    spec.dataTransfer = data_transfer;
+    spec.params = params_;
+    spec.geometry = geometry_;
+    return spec;
+}
+
+void
+SweepEngine::enqueue(const ExperimentSpec &spec)
+{
+    pending_.push_back(spec);
+}
+
+void
+SweepEngine::enqueue(WorkloadKind kind, bool restructured,
+                     Strategy strategy, Cycle data_transfer)
+{
+    enqueue(makeSpec(kind, restructured, strategy, data_transfer));
+}
+
+void
+SweepEngine::enqueueGrid(const std::vector<WorkloadKind> &workloads,
+                         const std::vector<bool> &restructured,
+                         const std::vector<Strategy> &strategies,
+                         const std::vector<Cycle> &data_transfers)
+{
+    for (const WorkloadKind w : workloads) {
+        for (const bool r : restructured) {
+            for (const Strategy s : strategies) {
+                for (const Cycle t : data_transfers)
+                    enqueue(w, r, s, t);
+            }
+        }
+    }
+}
+
+void
+SweepEngine::runPending()
+{
+    std::vector<ExperimentSpec> batch;
+    std::set<std::string> seen;
+    for (const ExperimentSpec &spec : pending_) {
+        const std::string key = experimentCacheKey(spec);
+        if (!seen.insert(key).second)
+            continue;
+        if (runs_.count(key))
+            continue;
+        if (cachingEnabled() && tryLoadFromDisk(spec, key))
+            continue;
+        batch.push_back(spec);
+    }
+    pending_.clear();
+    if (!batch.empty())
+        executeBatch(batch);
+}
+
+void
+SweepEngine::executeBatch(const std::vector<ExperimentSpec> &specs)
+{
+    // Plan the stage DAG. Simulations that share an annotation (or
+    // annotations that share a base trace) hang off one producer node;
+    // products already in memory from earlier batches satisfy their
+    // consumers immediately.
+    struct SimNode
+    {
+        const ExperimentSpec *spec;
+        std::string runKey;
+        std::string annKey;
+    };
+    struct AnnNode
+    {
+        const ExperimentSpec *spec;
+        std::string annKey;
+        std::string traceKey;
+        std::vector<std::size_t> sims; ///< Dependent SimNode indices.
+        bool traceReady = false;       ///< Base trace already cached.
+    };
+    struct TraceNode
+    {
+        const ExperimentSpec *spec;
+        std::string traceKey;
+        std::vector<std::size_t> anns; ///< Dependent AnnNode indices.
+    };
+
+    std::vector<SimNode> sims;
+    std::vector<AnnNode> anns;
+    std::vector<TraceNode> trace_nodes;
+    std::vector<std::size_t> ready_sims;
+    std::map<std::string, std::size_t> ann_index;
+    std::map<std::string, std::size_t> trace_index;
+
+    for (const ExperimentSpec &spec : specs) {
+        const std::size_t sim_idx = sims.size();
+        SimNode sim{&spec, experimentCacheKey(spec),
+                    annotateStageKey(spec)};
+        if (annotated_.count(sim.annKey)) {
+            ready_sims.push_back(sim_idx);
+            sims.push_back(std::move(sim));
+            continue;
+        }
+        const auto [it, inserted] =
+            ann_index.try_emplace(sim.annKey, anns.size());
+        if (inserted) {
+            AnnNode ann{&spec, sim.annKey, traceStageKey(spec), {}, false};
+            if (traces_.count(ann.traceKey)) {
+                ann.traceReady = true;
+            } else {
+                const auto [tit, tinserted] =
+                    trace_index.try_emplace(ann.traceKey,
+                                            trace_nodes.size());
+                if (tinserted) {
+                    trace_nodes.push_back(
+                        TraceNode{&spec, ann.traceKey, {}});
+                }
+                trace_nodes[tit->second].anns.push_back(anns.size());
+            }
+            anns.push_back(std::move(ann));
+        }
+        anns[it->second].sims.push_back(sim_idx);
+        sims.push_back(std::move(sim));
+    }
+
+    ThreadPool pool(options_.jobs);
+
+    const auto runSim = [&](std::size_t i) {
+        const SimNode &node = sims[i];
+        std::shared_ptr<const AnnotatedTrace> ann;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ann = annotated_.at(node.annKey);
+        }
+        auto result = std::make_unique<ExperimentResult>();
+        result->spec = *node.spec;
+        result->annotate = ann->stats;
+        result->sim = simulate(ann->trace, node.spec->simConfig());
+        if (cachingEnabled())
+            storeToDisk(*result, node.runKey);
+        std::lock_guard<std::mutex> lock(mu_);
+        runs_[node.runKey] = std::move(result);
+        ++counters_.simulationsRun;
+    };
+
+    const auto runAnn = [&](std::size_t i) {
+        const AnnNode &node = anns[i];
+        std::shared_ptr<const ParallelTrace> trace;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            trace = traces_.at(node.traceKey);
+        }
+        auto ann = std::make_shared<const AnnotatedTrace>(annotateTrace(
+            *trace, node.spec->annotationParams(), node.spec->geometry));
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            annotated_[node.annKey] = std::move(ann);
+            ++counters_.annotationsRun;
+        }
+        for (const std::size_t s : node.sims)
+            pool.submit([&runSim, s] { runSim(s); });
+    };
+
+    const auto runTrace = [&](std::size_t i) {
+        const TraceNode &node = trace_nodes[i];
+        WorkloadParams wp = node.spec->params;
+        wp.restructured = node.spec->restructured;
+        auto trace = std::make_shared<const ParallelTrace>(
+            generateWorkload(node.spec->workload, wp));
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            traces_[node.traceKey] = std::move(trace);
+            ++counters_.tracesGenerated;
+        }
+        for (const std::size_t a : node.anns)
+            pool.submit([&runAnn, a] { runAnn(a); });
+    };
+
+    for (std::size_t i = 0; i < trace_nodes.size(); ++i)
+        pool.submit([&runTrace, i] { runTrace(i); });
+    for (std::size_t i = 0; i < anns.size(); ++i) {
+        if (anns[i].traceReady)
+            pool.submit([&runAnn, i] { runAnn(i); });
+    }
+    for (const std::size_t i : ready_sims)
+        pool.submit([&runSim, i] { runSim(i); });
+
+    pool.waitAll();
+}
+
+bool
+SweepEngine::tryLoadFromDisk(const ExperimentSpec &spec,
+                             const std::string &key)
+{
+    const fs::path path = fs::path(options_.cacheDir) / cacheFileName(key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::optional<ExperimentResult> result =
+        readResultJson(text.str(), spec, key);
+    if (!result) {
+        ++counters_.cacheRejected;
+        return false;
+    }
+    runs_[key] = std::make_unique<ExperimentResult>(std::move(*result));
+    ++counters_.cacheHits;
+    return true;
+}
+
+void
+SweepEngine::storeToDisk(const ExperimentResult &result,
+                         const std::string &key)
+{
+    const fs::path path = fs::path(options_.cacheDir) / cacheFileName(key);
+    // One writer per key within a process (keys are deduplicated), and
+    // the final rename is atomic, so concurrent sweeps sharing a cache
+    // directory can only race benignly.
+    const fs::path tmp = path.string() + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            prefsim_warn("cannot write cache file ", tmp.string());
+            return;
+        }
+        writeResultJson(out, result, key);
+        if (!out) {
+            prefsim_warn("short write to cache file ", tmp.string());
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        prefsim_warn("cannot commit cache file ", path.string(), " (",
+                     ec.message(), ")");
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.cacheStores;
+}
+
+const ExperimentResult &
+SweepEngine::run(const ExperimentSpec &spec)
+{
+    const std::string key = experimentCacheKey(spec);
+    auto it = runs_.find(key);
+    if (it == runs_.end()) {
+        enqueue(spec);
+        runPending();
+        it = runs_.find(key);
+        prefsim_assert(it != runs_.end(),
+                       "sweep produced no result for ", spec.label());
+    }
+    return *it->second;
+}
+
+const ExperimentResult &
+SweepEngine::run(WorkloadKind kind, bool restructured, Strategy strategy,
+                 Cycle data_transfer)
+{
+    return run(makeSpec(kind, restructured, strategy, data_transfer));
+}
+
+double
+SweepEngine::relativeExecTime(WorkloadKind kind, bool restructured,
+                              Strategy strategy, Cycle data_transfer)
+{
+    // Declare both points before running so a cold engine still
+    // executes them in one parallel batch.
+    enqueue(kind, restructured, Strategy::NP, data_transfer);
+    enqueue(kind, restructured, strategy, data_transfer);
+    runPending();
+    const ExperimentResult &np =
+        run(kind, restructured, Strategy::NP, data_transfer);
+    const ExperimentResult &r =
+        run(kind, restructured, strategy, data_transfer);
+    prefsim_assert(np.sim.cycles > 0, "NP run produced zero cycles");
+    return static_cast<double>(r.sim.cycles) /
+           static_cast<double>(np.sim.cycles);
+}
+
+double
+SweepEngine::speedup(WorkloadKind kind, bool restructured,
+                     Strategy strategy, Cycle data_transfer)
+{
+    return 1.0 / relativeExecTime(kind, restructured, strategy,
+                                  data_transfer);
+}
+
+const ParallelTrace &
+SweepEngine::baseTrace(WorkloadKind kind, bool restructured)
+{
+    const ExperimentSpec spec =
+        makeSpec(kind, restructured, Strategy::NP, 8);
+    const std::string key = traceStageKey(spec);
+    auto it = traces_.find(key);
+    if (it == traces_.end()) {
+        WorkloadParams wp = params_;
+        wp.restructured = restructured;
+        it = traces_
+                 .emplace(key, std::make_shared<const ParallelTrace>(
+                                   generateWorkload(kind, wp)))
+                 .first;
+        ++counters_.tracesGenerated;
+    }
+    return *it->second;
+}
+
+const AnnotatedTrace &
+SweepEngine::annotated(WorkloadKind kind, bool restructured,
+                       Strategy strategy)
+{
+    const ExperimentSpec spec =
+        makeSpec(kind, restructured, strategy, 8);
+    const std::string key = annotateStageKey(spec);
+    auto it = annotated_.find(key);
+    if (it == annotated_.end()) {
+        const ParallelTrace &base = baseTrace(kind, restructured);
+        it = annotated_
+                 .emplace(key,
+                          std::make_shared<const AnnotatedTrace>(
+                              annotateTrace(base, spec.annotationParams(),
+                                            geometry_)))
+                 .first;
+        ++counters_.annotationsRun;
+    }
+    return *it->second;
+}
+
+} // namespace prefsim

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The parallel, resumable sweep engine.
+ *
+ * An experiment is a three-stage pipeline — trace generation → prefetch
+ * annotation → simulation — and a sweep (Figure 2 alone is 25
+ * simulations per workload) is a DAG over those stages: many annotated
+ * traces share one base trace, and many simulations share one annotated
+ * trace. SweepEngine makes that DAG explicit. Declared experiment
+ * points (enqueue) are scheduled onto a worker pool (runPending) as
+ * soon as their dependencies resolve; stage products are immutable and
+ * shared, so results are bit-identical to the serial Workbench path
+ * regardless of the worker count or completion order.
+ *
+ * With a cache directory configured, finished points are persisted to a
+ * content-addressed on-disk cache (see core/result_io.hh) and future
+ * runs — a re-invoked bench binary, or a sweep interrupted halfway —
+ * pay only for the points that are missing. Corrupt or truncated cache
+ * entries are detected (strict parse + embedded-key comparison) and
+ * silently recomputed.
+ */
+
+#ifndef PREFSIM_CORE_SWEEP_HH
+#define PREFSIM_CORE_SWEEP_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace prefsim
+{
+
+/** Execution options of one SweepEngine. */
+struct SweepOptions
+{
+    /** Worker threads; 1 = serial (the default), 0 = all cores. */
+    unsigned jobs = 1;
+    /** On-disk result cache directory; empty disables persistence. */
+    std::string cacheDir;
+    /** False ignores cacheDir entirely (--no-cache). */
+    bool useCache = true;
+};
+
+/** Work accounting: what actually executed vs. came from the cache. */
+struct SweepCounters
+{
+    std::uint64_t tracesGenerated = 0;
+    std::uint64_t annotationsRun = 0;
+    std::uint64_t simulationsRun = 0;
+    std::uint64_t cacheHits = 0;     ///< Results loaded from disk.
+    std::uint64_t cacheStores = 0;   ///< Results persisted to disk.
+    std::uint64_t cacheRejected = 0; ///< Corrupt/stale entries recomputed.
+};
+
+/**
+ * Parallel experiment runner with in-memory stage sharing and an
+ * optional on-disk result cache.
+ *
+ * Usage: declare the sweep grid with enqueue()/enqueueGrid(), execute
+ * it with runPending(), then read results with run() and the derived
+ * metrics. run() on an undeclared point computes it on demand (serial
+ * Workbench semantics), so formatting code never needs to know what
+ * was predeclared. Not itself thread-safe: drive each engine from one
+ * thread.
+ */
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(
+        WorkloadParams params = defaultWorkloadParams(),
+        CacheGeometry geometry = CacheGeometry::paperDefault(),
+        SweepOptions options = SweepOptions{});
+    ~SweepEngine();
+
+    SweepEngine(const SweepEngine &) = delete;
+    SweepEngine &operator=(const SweepEngine &) = delete;
+
+    /** A spec over this engine's shared params/geometry. */
+    ExperimentSpec makeSpec(WorkloadKind kind, bool restructured,
+                            Strategy strategy, Cycle data_transfer) const;
+
+    /** Declare one experiment point (deduplicated). */
+    void enqueue(const ExperimentSpec &spec);
+    void enqueue(WorkloadKind kind, bool restructured, Strategy strategy,
+                 Cycle data_transfer);
+
+    /** Declare a full cross-product. */
+    void enqueueGrid(const std::vector<WorkloadKind> &workloads,
+                     const std::vector<bool> &restructured,
+                     const std::vector<Strategy> &strategies,
+                     const std::vector<Cycle> &data_transfers);
+
+    /** Execute every declared-but-unfinished point; returns when all
+     *  results are available. */
+    void runPending();
+
+    /** The result of one point; computed on demand if not yet run. */
+    const ExperimentResult &run(const ExperimentSpec &spec);
+    const ExperimentResult &run(WorkloadKind kind, bool restructured,
+                                Strategy strategy, Cycle data_transfer);
+
+    /** Execution time relative to NP (paper Figure 2 / Table 5). */
+    double relativeExecTime(WorkloadKind kind, bool restructured,
+                            Strategy strategy, Cycle data_transfer);
+
+    /** Speedup of @p strategy over NP (1 / relativeExecTime). */
+    double speedup(WorkloadKind kind, bool restructured,
+                   Strategy strategy, Cycle data_transfer);
+
+    /** The generated (unannotated) trace; cached and shared. */
+    const ParallelTrace &baseTrace(WorkloadKind kind,
+                                   bool restructured = false);
+
+    /** The strategy-annotated trace; cached and shared. */
+    const AnnotatedTrace &annotated(WorkloadKind kind, bool restructured,
+                                    Strategy strategy);
+
+    const WorkloadParams &params() const { return params_; }
+    const CacheGeometry &geometry() const { return geometry_; }
+    const SweepOptions &options() const { return options_; }
+    const SweepCounters &counters() const { return counters_; }
+
+  private:
+    /** Execute @p specs (none of which have results yet) as a DAG. */
+    void executeBatch(const std::vector<ExperimentSpec> &specs);
+
+    /** Try the disk cache; on success the result is installed. */
+    bool tryLoadFromDisk(const ExperimentSpec &spec,
+                         const std::string &key);
+
+    /** Persist @p result under @p key (atomic rename). */
+    void storeToDisk(const ExperimentResult &result,
+                     const std::string &key);
+
+    bool cachingEnabled() const
+    {
+        return options_.useCache && !options_.cacheDir.empty();
+    }
+
+    WorkloadParams params_;
+    CacheGeometry geometry_;
+    SweepOptions options_;
+    SweepCounters counters_;
+
+    /** Declared, not yet executed points. */
+    std::vector<ExperimentSpec> pending_;
+
+    /** Guards the stage maps and counters while workers run. */
+    std::mutex mu_;
+    std::map<std::string, std::shared_ptr<const ParallelTrace>> traces_;
+    std::map<std::string, std::shared_ptr<const AnnotatedTrace>>
+        annotated_;
+    std::map<std::string, std::unique_ptr<ExperimentResult>> runs_;
+};
+
+} // namespace prefsim
+
+#endif // PREFSIM_CORE_SWEEP_HH

@@ -1,14 +1,21 @@
 /**
  * @file
  * JSON serialisation of simulation results, for downstream plotting and
- * archival of experiment outputs.
+ * archival of experiment outputs — plus the strict parser that reads
+ * them back (the sweep engine's on-disk result cache round-trips
+ * through this pair).
  */
 
 #ifndef PREFSIM_STATS_JSON_HH
 #define PREFSIM_STATS_JSON_HH
 
+#include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/sim_stats.hh"
 
@@ -63,6 +70,56 @@ class JsonWriter
  */
 void writeJson(std::ostream &os, const SimStats &stats,
                const std::string &label = "");
+
+/**
+ * A parsed JSON value (RFC 8259 subset: no surrogate-pair decoding in
+ * \u escapes beyond the BMP).
+ *
+ * Numbers keep their source text so 64-bit counters survive the
+ * round-trip exactly — asU64() re-parses the raw token rather than
+ * going through a double.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    using Member = std::pair<std::string, JsonValue>;
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+
+    /** Value accessors; panic if the kind does not match. */
+    bool asBool() const;
+    double asDouble() const;
+    std::uint64_t asU64() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &array() const;
+    const std::vector<Member> &members() const;
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::string scalar_; ///< Raw number token, or the decoded string.
+    std::vector<JsonValue> elems_;
+    std::vector<Member> members_;
+};
+
+/**
+ * Parse @p text as one JSON document. Strict: malformed syntax,
+ * truncated input or trailing garbage all yield nullopt (which is how
+ * the result cache detects corrupt entries).
+ */
+std::optional<JsonValue> parseJson(const std::string &text);
 
 } // namespace prefsim
 
