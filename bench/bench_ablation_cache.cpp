@@ -167,5 +167,6 @@ main(int argc, char **argv)
                      "sharing and thus the total number of invalidation "
                      "misses.\"\n";
     }
+    emitBenchTelemetry(opts, bench);
     return 0;
 }

@@ -209,5 +209,6 @@ main(int argc, char **argv)
                      "into a non-snooping buffer — which is why the "
                      "study (and prefsim) prefetch into the cache.\n";
     }
+    emitBenchTelemetry(opts, bench);
     return 0;
 }

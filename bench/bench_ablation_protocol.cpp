@@ -105,5 +105,6 @@ main(int argc, char **argv)
            "write-sharing style — and with no invalidation misses left, "
            "the oracle prefetcher covers everything that remains "
            "(final column).\n";
+    emitBenchTelemetry(opts, bench);
     return 0;
 }

@@ -11,15 +11,22 @@
  *   --no-cache       ignore any --cache-dir; recompute everything
  *   --csv            machine-readable CSV output (where supported)
  *   --quiet          suppress informational logging
+ *   --log-level L    minimum log severity: error, warn, info, debug
+ *   --metrics-out F  write sweep telemetry + simulator metrics JSON to F
+ *   --trace-out F    write a Chrome trace-event JSON document to F
+ *                    (needs a -DPREFSIM_TRACING=ON build to carry events)
  *
  * parseBenchArgs handles the full set in a single pass, so flags can be
  * given in any order; makeEngine turns the result into a SweepEngine.
+ * Binaries that want --metrics-out/--trace-out to produce output call
+ * emitBenchTelemetry(opts, engine) after their sweep completes.
  */
 
 #ifndef PREFSIM_BENCH_BENCH_COMMON_HH
 #define PREFSIM_BENCH_BENCH_COMMON_HH
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -39,6 +46,10 @@ struct BenchOptions
     WorkloadParams params = defaultWorkloadParams();
     SweepOptions sweep;
     bool csv = false;
+    /** Telemetry/metrics JSON destination (empty = none). */
+    std::string metricsOut;
+    /** Chrome trace-event JSON destination (empty = none). */
+    std::string traceOut;
 };
 
 /**
@@ -85,6 +96,21 @@ parseBenchArgs(int argc, char **argv,
             opts.csv = true;
         } else if (arg == "--quiet") {
             setQuiet(true);
+        } else if (arg == "--log-level") {
+            const char *name = next();
+            const std::optional<LogLevel> level = parseLogLevel(name);
+            if (!level)
+                prefsim_fatal("--log-level expects error, warn, info or "
+                              "debug, got '",
+                              name, "'");
+            setLogThreshold(*level);
+        } else if (arg == "--metrics-out") {
+            opts.metricsOut = next();
+            opts.sweep.metrics = true;
+        } else if (arg == "--trace-out") {
+            opts.traceOut = next();
+            opts.sweep.tracing = true;
+            opts.sweep.metrics = true;
         } else if (arg == "--help" || arg == "-h") {
             std::cout
                 << "usage: " << (argc > 0 ? argv[0] : "bench")
@@ -98,7 +124,13 @@ parseBenchArgs(int argc, char **argv,
                    "cache\n"
                    "  --no-cache       ignore any --cache-dir\n"
                    "  --csv            machine-readable CSV output\n"
-                   "  --quiet          suppress informational logging\n";
+                   "  --quiet          suppress informational logging\n"
+                   "  --log-level L    minimum severity: error, warn, "
+                   "info, debug\n"
+                   "  --metrics-out F  write sweep telemetry + metrics "
+                   "JSON to F\n"
+                   "  --trace-out F    write Chrome trace-event JSON to F "
+                   "(PREFSIM_TRACING builds)\n";
             std::exit(0);
         } else if (positional && arg.rfind("--", 0) != 0) {
             positional->push_back(arg);
@@ -116,6 +148,45 @@ makeEngine(const BenchOptions &opts,
            CacheGeometry geometry = CacheGeometry::paperDefault())
 {
     return SweepEngine(opts.params, geometry, opts.sweep);
+}
+
+/**
+ * Write whatever --metrics-out / --trace-out asked for. Call once,
+ * after the sweep's last runPending()/run() returned. A no-op when
+ * neither flag was given.
+ */
+inline void
+emitBenchTelemetry(const BenchOptions &opts, const SweepEngine &engine)
+{
+    if (!opts.metricsOut.empty()) {
+        std::ofstream out(opts.metricsOut,
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            prefsim_warn("cannot write metrics file ", opts.metricsOut);
+        } else {
+            engine.writeTelemetryJson(out);
+            prefsim_inform("wrote metrics to ", opts.metricsOut);
+        }
+    }
+    if (!opts.traceOut.empty()) {
+        const ObsContext *obs = engine.obs();
+        if (obs == nullptr || obs->tracer.numSessions() == 0) {
+            prefsim_warn("--trace-out: no trace sessions recorded",
+                         PREFSIM_TRACING
+                             ? ""
+                             : " (this binary was built without "
+                               "-DPREFSIM_TRACING=ON)");
+        }
+        std::ofstream out(opts.traceOut,
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            prefsim_warn("cannot write trace file ", opts.traceOut);
+        } else if (obs != nullptr) {
+            obs->tracer.exportChromeTrace(out);
+            prefsim_inform("wrote Chrome trace to ", opts.traceOut,
+                           " (load at https://ui.perfetto.dev)");
+        }
+    }
 }
 
 /** Format a measured/paper pair: "0.27 (paper 0.27)". */

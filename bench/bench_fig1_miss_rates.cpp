@@ -44,6 +44,7 @@ main(int argc, char **argv)
                        TextTable::num(r.sim.adjustedCpuMissRate(), 5)});
             }
         }
+        emitBenchTelemetry(opts, bench);
         return 0;
     }
 
@@ -80,5 +81,6 @@ main(int argc, char **argv)
     std::cout << "\npaper bands: PREF cuts CPU MR 37-71% (38-77% "
                  "adjusted); PWS 57-80% (59-94% adjusted); total MR "
                  "rises for every prefetching strategy.\n";
+    emitBenchTelemetry(opts, bench);
     return 0;
 }

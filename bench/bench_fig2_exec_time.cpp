@@ -81,5 +81,6 @@ main(int argc, char **argv)
               << TextTable::num(best_pws) << " / "
               << TextTable::num(worst_pws)
               << "  (paper: 1/1.39=0.72 best, 1/0.95=1.05 worst)\n";
+    emitBenchTelemetry(opts, bench);
     return 0;
 }

@@ -60,6 +60,7 @@ main(int argc, char **argv)
                        rate(m.prefetchInProgress)});
             }
         }
+        emitBenchTelemetry(opts, bench);
         return 0;
     }
 
@@ -110,5 +111,6 @@ main(int argc, char **argv)
                   TextTable::count(lpd.sim.totalMisses().nonSharing())});
     }
     t.print(std::cout);
+    emitBenchTelemetry(opts, bench);
     return 0;
 }

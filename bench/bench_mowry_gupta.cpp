@@ -116,5 +116,6 @@ main(int argc, char **argv)
            "speedups. The contrast is the paper's whole point: the "
            "benefit of prefetching is a property of the memory system, "
            "not of prefetching.\n";
+    emitBenchTelemetry(opts, bench);
     return 0;
 }

@@ -76,5 +76,6 @@ main(int argc, char **argv)
                   TextTable::num(1.0 / fast.sim.avgProcUtilization(), 2)});
     }
     t.print(std::cout);
+    emitBenchTelemetry(opts, bench);
     return 0;
 }

@@ -47,6 +47,10 @@ main(int argc, char **argv)
         }
         t.print(std::cout);
         std::cout << "\n";
+        // Telemetry covers the 16-processor sweep (the paper's
+        // configuration); earlier iterations' engines are discarded.
+        if (procs == 16u)
+            emitBenchTelemetry(o, bench);
     }
     std::cout << "expected: more processors -> higher bus demand -> "
                  "earlier saturation and smaller (or negative) "

@@ -62,5 +62,6 @@ main(int argc, char **argv)
                   TextTable::percent(s.writeSharedRefFraction)});
     }
     r.print(std::cout);
+    emitBenchTelemetry(opts, bench);
     return 0;
 }

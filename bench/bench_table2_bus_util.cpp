@@ -46,6 +46,7 @@ main(int argc, char **argv)
                 }
             }
         }
+        emitBenchTelemetry(opts, bench);
         return 0;
     }
 
@@ -67,5 +68,6 @@ main(int argc, char **argv)
         t.addRule();
     }
     t.print(std::cout);
+    emitBenchTelemetry(opts, bench);
     return 0;
 }

@@ -62,5 +62,8 @@ main(int argc, char **argv)
                   TextTable::percent(share(r64), 0)});
     }
     b.print(std::cout);
+    // Telemetry covers the paper-geometry engine; the wide-line engine
+    // exists only for the block-size comparison above.
+    emitBenchTelemetry(opts, bench);
     return 0;
 }

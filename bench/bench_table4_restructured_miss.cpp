@@ -88,5 +88,6 @@ main(int argc, char **argv)
     f.print(std::cout);
     std::cout << "\npaper: Topopt inval/6 and non-sharing/2; Pverify "
                  "inval/4 with non-sharing slightly up.\n";
+    emitBenchTelemetry(opts, bench);
     return 0;
 }

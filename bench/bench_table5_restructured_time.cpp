@@ -89,5 +89,6 @@ main(int argc, char **argv)
               << TextTable::num(fast.sim.avgProcUtilization()) << " @T=4, "
               << TextTable::num(slow.sim.avgProcUtilization())
               << " @T=32 (paper: .80 / .77)\n";
+    emitBenchTelemetry(opts, bench);
     return 0;
 }

@@ -37,12 +37,31 @@ done
 cmp "$CACHE/serial.csv" "$CACHE/parallel.csv"
 echo "ok: parallel output identical to serial"
 
+# Telemetry: --metrics-out emits strict JSON in the default build too.
+"$BUILD"/bench/bench_fig2_exec_time --refs 20000 --procs 8 --quiet \
+    --jobs "$JOBS" --metrics-out "$CACHE/metrics.json" > /dev/null
+"$BUILD"/tools/validate_telemetry "$CACHE/metrics.json"
+echo "ok: telemetry JSON validates (default build)"
+
 # --- configuration 2: ThreadSanitizer ---------------------------------
 TSAN_BUILD="$BUILD-tsan"
 cmake -B "$TSAN_BUILD" -DPREFSIM_SANITIZE=thread -DPREFSIM_BUILD_BENCH=OFF \
     -DPREFSIM_BUILD_EXAMPLES=OFF
-cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_sweep
+cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_sweep --target test_obs
 "$TSAN_BUILD"/tests/test_sweep
-echo "ok: test_sweep clean under ThreadSanitizer"
+"$TSAN_BUILD"/tests/test_obs
+echo "ok: test_sweep + test_obs clean under ThreadSanitizer"
+
+# --- configuration 3: event tracing compiled in -----------------------
+TRACE_BUILD="$BUILD-tracing"
+cmake -B "$TRACE_BUILD" -DPREFSIM_TRACING=ON
+cmake --build "$TRACE_BUILD" -j "$JOBS"
+ctest --test-dir "$TRACE_BUILD" -j "$JOBS" --output-on-failure
+"$TRACE_BUILD"/bench/bench_fig2_exec_time --refs 20000 --procs 8 --quiet \
+    --jobs "$JOBS" --metrics-out "$TRACE_BUILD/metrics.json" \
+    --trace-out "$TRACE_BUILD/trace.json" > /dev/null
+"$TRACE_BUILD"/tools/validate_telemetry "$TRACE_BUILD/metrics.json" \
+    "$TRACE_BUILD/trace.json"
+echo "ok: tracing build emits valid telemetry + Chrome trace JSON"
 
 echo "all checks passed"

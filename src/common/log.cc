@@ -13,6 +13,7 @@ namespace
 {
 
 std::atomic<bool> g_quiet{false};
+std::atomic<int> g_threshold{logSeverity(LogLevel::Inform)};
 
 /** Serializes every emission and guards the injected sink. */
 std::mutex &
@@ -33,6 +34,9 @@ void
 defaultSink(LogLevel level, const std::string &msg)
 {
     switch (level) {
+      case LogLevel::Debug:
+        std::fprintf(stdout, "debug: %s\n", msg.c_str());
+        break;
       case LogLevel::Inform:
         std::fprintf(stdout, "info: %s\n", msg.c_str());
         break;
@@ -70,11 +74,61 @@ flushStreams()
 
 } // namespace
 
-void
+LogSink
 setLogSink(LogSink sink)
 {
     std::lock_guard<std::mutex> lock(logMutex());
+    LogSink previous = std::move(sinkSlot());
     sinkSlot() = std::move(sink);
+    return previous;
+}
+
+LogLevel
+setLogThreshold(LogLevel min_level)
+{
+    const int prev =
+        g_threshold.exchange(logSeverity(min_level),
+                             std::memory_order_relaxed);
+    // Map the stored severity back to the canonical level per rank.
+    switch (prev) {
+      case 0:
+        return LogLevel::Debug;
+      case 1:
+        return LogLevel::Inform;
+      case 2:
+        return LogLevel::Warn;
+      default:
+        return LogLevel::Fatal;
+    }
+}
+
+LogLevel
+logThreshold()
+{
+    switch (g_threshold.load(std::memory_order_relaxed)) {
+      case 0:
+        return LogLevel::Debug;
+      case 1:
+        return LogLevel::Inform;
+      case 2:
+        return LogLevel::Warn;
+      default:
+        return LogLevel::Fatal;
+    }
+}
+
+std::optional<LogLevel>
+parseLogLevel(const std::string &name)
+{
+    if (name == "error")
+        return LogLevel::Fatal; // Fatal/panic only.
+    if (name == "warn" || name == "warning")
+        return LogLevel::Warn;
+    if (name == "info")
+        return LogLevel::Inform;
+    if (name == "debug")
+        return LogLevel::Debug;
+    return std::nullopt;
 }
 
 void
@@ -113,18 +167,37 @@ fatalImpl(const char *file, int line, const std::string &msg)
     std::_Exit(1);
 }
 
+namespace
+{
+
+bool
+thresholdAllows(LogLevel level)
+{
+    return logSeverity(level) >=
+           g_threshold.load(std::memory_order_relaxed);
+}
+
+} // namespace
+
 void
 warnImpl(const std::string &msg)
 {
-    if (!quiet())
+    if (!quiet() && thresholdAllows(LogLevel::Warn))
         emit(LogLevel::Warn, msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!quiet())
+    if (!quiet() && thresholdAllows(LogLevel::Inform))
         emit(LogLevel::Inform, msg);
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    if (!quiet() && thresholdAllows(LogLevel::Debug))
+        emit(LogLevel::Debug, msg);
 }
 
 } // namespace detail

@@ -19,8 +19,10 @@
 #define PREFSIM_COMMON_LOG_HH
 
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 
 namespace prefsim
 {
@@ -31,8 +33,28 @@ enum class LogLevel
     Inform, ///< Plain status output (stdout by default).
     Warn,   ///< Suspicious but non-fatal (stderr by default).
     Fatal,  ///< User error; the process exits after emission.
-    Panic   ///< Simulator bug; the process aborts after emission.
+    Panic,  ///< Simulator bug; the process aborts after emission.
+    Debug   ///< Diagnostic detail (suppressed unless --log-level debug).
 };
+
+/** Numeric severity for threshold comparisons (higher = more severe). */
+constexpr int
+logSeverity(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:
+        return 0;
+      case LogLevel::Inform:
+        return 1;
+      case LogLevel::Warn:
+        return 2;
+      case LogLevel::Fatal:
+        return 3;
+      case LogLevel::Panic:
+        return 4;
+    }
+    return 4;
+}
 
 /**
  * Receives every emitted message (already formatted, no trailing
@@ -45,8 +67,44 @@ using LogSink = std::function<void(LogLevel, const std::string &)>;
  * Install @p sink as the destination of all log output; pass nullptr to
  * restore the default stdout/stderr sink. Quiet suppression of
  * warn/inform happens before the sink is invoked.
+ * @return the previously installed sink (empty if the default).
  */
-void setLogSink(LogSink sink);
+LogSink setLogSink(LogSink sink);
+
+/**
+ * RAII sink guard: installs @p sink on construction and restores
+ * whatever was installed before on destruction, so a test (or a scoped
+ * capture in an embedder) cannot leak its sink into later code.
+ */
+class ScopedLogSink
+{
+  public:
+    explicit ScopedLogSink(LogSink sink)
+        : previous_(setLogSink(std::move(sink)))
+    {}
+
+    ~ScopedLogSink() { setLogSink(std::move(previous_)); }
+
+    ScopedLogSink(const ScopedLogSink &) = delete;
+    ScopedLogSink &operator=(const ScopedLogSink &) = delete;
+
+  private:
+    LogSink previous_;
+};
+
+/**
+ * Minimum severity that is emitted (default LogLevel::Inform, i.e.
+ * debug suppressed). Fatal/panic are always emitted. Returns the
+ * previous threshold. --log-level on the bench binaries maps here.
+ */
+LogLevel setLogThreshold(LogLevel min_level);
+LogLevel logThreshold();
+
+/**
+ * Parse a --log-level spelling: "error" (fatal/panic only), "warn",
+ * "info" (the default) or "debug". Returns nullopt on anything else.
+ */
+std::optional<LogLevel> parseLogLevel(const std::string &name);
 
 namespace detail
 {
@@ -64,6 +122,9 @@ void warnImpl(const std::string &msg);
 
 /** Print an informational message to the sink (stdout by default). */
 void informImpl(const std::string &msg);
+
+/** Print a debug message (suppressed unless the threshold allows). */
+void debugImpl(const std::string &msg);
 
 /** Fold a list of streamable values into one string. */
 template <typename... Args>
@@ -96,6 +157,9 @@ bool quiet();
 
 #define prefsim_inform(...)                                                  \
     ::prefsim::detail::informImpl(::prefsim::detail::format(__VA_ARGS__))
+
+#define prefsim_debug(...)                                                   \
+    ::prefsim::detail::debugImpl(::prefsim::detail::format(__VA_ARGS__))
 
 /** Invariant check that survives NDEBUG: panics with a message on failure. */
 #define prefsim_assert(cond, ...)                                            \

@@ -1,11 +1,13 @@
 #include "core/sweep.hh"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <utility>
 
+#include "common/json.hh"
 #include "common/log.hh"
 #include "core/result_io.hh"
 #include "core/thread_pool.hh"
@@ -15,10 +17,29 @@ namespace prefsim
 
 namespace fs = std::filesystem;
 
+namespace
+{
+
+/** Wall-clock nanoseconds since @p start. */
+std::uint64_t
+nanosSince(std::chrono::steady_clock::time_point start)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+}
+
+} // namespace
+
 SweepEngine::SweepEngine(WorkloadParams params, CacheGeometry geometry,
                          SweepOptions options)
     : params_(params), geometry_(geometry), options_(std::move(options))
 {
+    if (options_.metrics || options_.tracing) {
+        obs_ = std::make_unique<ObsContext>();
+        obs_->tracer.setEnabled(options_.tracing);
+    }
     if (cachingEnabled()) {
         std::error_code ec;
         fs::create_directories(options_.cacheDir, ec);
@@ -174,12 +195,20 @@ SweepEngine::executeBatch(const std::vector<ExperimentSpec> &specs)
         auto result = std::make_unique<ExperimentResult>();
         result->spec = *node.spec;
         result->annotate = ann->stats;
-        result->sim = simulate(ann->trace, node.spec->simConfig());
+        SimConfig cfg = node.spec->simConfig();
+        if (obs_) {
+            cfg.obs = obs_.get();
+            cfg.traceLabel = node.spec->label();
+        }
+        const auto start = std::chrono::steady_clock::now();
+        result->sim = simulate(ann->trace, cfg);
+        const std::uint64_t nanos = nanosSince(start);
         if (cachingEnabled())
             storeToDisk(*result, node.runKey);
         std::lock_guard<std::mutex> lock(mu_);
         runs_[node.runKey] = std::move(result);
         ++counters_.simulationsRun;
+        counters_.simulateNanos += nanos;
     };
 
     const auto runAnn = [&](std::size_t i) {
@@ -189,12 +218,15 @@ SweepEngine::executeBatch(const std::vector<ExperimentSpec> &specs)
             std::lock_guard<std::mutex> lock(mu_);
             trace = traces_.at(node.traceKey);
         }
+        const auto start = std::chrono::steady_clock::now();
         auto ann = std::make_shared<const AnnotatedTrace>(annotateTrace(
             *trace, node.spec->annotationParams(), node.spec->geometry));
+        const std::uint64_t nanos = nanosSince(start);
         {
             std::lock_guard<std::mutex> lock(mu_);
             annotated_[node.annKey] = std::move(ann);
             ++counters_.annotationsRun;
+            counters_.annotateNanos += nanos;
         }
         for (const std::size_t s : node.sims)
             pool.submit([&runSim, s] { runSim(s); });
@@ -204,12 +236,15 @@ SweepEngine::executeBatch(const std::vector<ExperimentSpec> &specs)
         const TraceNode &node = trace_nodes[i];
         WorkloadParams wp = node.spec->params;
         wp.restructured = node.spec->restructured;
+        const auto start = std::chrono::steady_clock::now();
         auto trace = std::make_shared<const ParallelTrace>(
             generateWorkload(node.spec->workload, wp));
+        const std::uint64_t nanos = nanosSince(start);
         {
             std::lock_guard<std::mutex> lock(mu_);
             traces_[node.traceKey] = std::move(trace);
             ++counters_.tracesGenerated;
+            counters_.traceNanos += nanos;
         }
         for (const std::size_t a : node.anns)
             pool.submit([&runAnn, a] { runAnn(a); });
@@ -340,11 +375,13 @@ SweepEngine::baseTrace(WorkloadKind kind, bool restructured)
     if (it == traces_.end()) {
         WorkloadParams wp = params_;
         wp.restructured = restructured;
+        const auto start = std::chrono::steady_clock::now();
         it = traces_
                  .emplace(key, std::make_shared<const ParallelTrace>(
                                    generateWorkload(kind, wp)))
                  .first;
         ++counters_.tracesGenerated;
+        counters_.traceNanos += nanosSince(start);
     }
     return *it->second;
 }
@@ -359,6 +396,7 @@ SweepEngine::annotated(WorkloadKind kind, bool restructured,
     auto it = annotated_.find(key);
     if (it == annotated_.end()) {
         const ParallelTrace &base = baseTrace(kind, restructured);
+        const auto start = std::chrono::steady_clock::now();
         it = annotated_
                  .emplace(key,
                           std::make_shared<const AnnotatedTrace>(
@@ -366,8 +404,41 @@ SweepEngine::annotated(WorkloadKind kind, bool restructured,
                                             geometry_)))
                  .first;
         ++counters_.annotationsRun;
+        counters_.annotateNanos += nanosSince(start);
     }
     return *it->second;
+}
+
+void
+SweepEngine::writeTelemetryJson(std::ostream &os) const
+{
+    JsonWriter j(os);
+    j.beginObject();
+    j.key("schema").value("prefsim-telemetry-v1");
+    j.key("sweep").beginObject();
+    j.key("traces_generated").value(counters_.tracesGenerated);
+    j.key("annotations_run").value(counters_.annotationsRun);
+    j.key("simulations_run").value(counters_.simulationsRun);
+    j.key("cache_hits").value(counters_.cacheHits);
+    j.key("cache_stores").value(counters_.cacheStores);
+    j.key("cache_rejected").value(counters_.cacheRejected);
+    j.key("trace_nanos").value(counters_.traceNanos);
+    j.key("annotate_nanos").value(counters_.annotateNanos);
+    j.key("simulate_nanos").value(counters_.simulateNanos);
+    j.endObject();
+    if (obs_) {
+        j.key("metrics");
+        obs_->metrics.writeJson(j);
+        j.key("tracing").beginObject();
+        j.key("enabled").value(obs_->tracer.enabled());
+        j.key("compiled_in").value(PREFSIM_TRACING != 0);
+        j.key("sessions").value(
+            static_cast<std::uint64_t>(obs_->tracer.numSessions()));
+        j.key("events").value(obs_->tracer.totalEvents());
+        j.endObject();
+    }
+    j.endObject();
+    os << "\n";
 }
 
 } // namespace prefsim

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/experiment.hh"
+#include "obs/obs.hh"
 
 namespace prefsim
 {
@@ -44,6 +45,12 @@ struct SweepOptions
     std::string cacheDir;
     /** False ignores cacheDir entirely (--no-cache). */
     bool useCache = true;
+    /** Collect simulator metrics into an engine-owned ObsContext
+     *  (--metrics-out). Off = the uninstrumented fast path. */
+    bool metrics = false;
+    /** Additionally record event traces (--trace-out). Only effective
+     *  in a PREFSIM_TRACING build; implies metrics. */
+    bool tracing = false;
 };
 
 /** Work accounting: what actually executed vs. came from the cache. */
@@ -55,6 +62,13 @@ struct SweepCounters
     std::uint64_t cacheHits = 0;     ///< Results loaded from disk.
     std::uint64_t cacheStores = 0;   ///< Results persisted to disk.
     std::uint64_t cacheRejected = 0; ///< Corrupt/stale entries recomputed.
+
+    /** Wall-clock nanoseconds summed per stage across all workers
+     *  (overlapping work counts once per worker, so with --jobs > 1 the
+     *  sum exceeds elapsed time; it measures cost, not latency). */
+    std::uint64_t traceNanos = 0;
+    std::uint64_t annotateNanos = 0;
+    std::uint64_t simulateNanos = 0;
 };
 
 /**
@@ -125,6 +139,19 @@ class SweepEngine
     const SweepOptions &options() const { return options_; }
     const SweepCounters &counters() const { return counters_; }
 
+    /** The instrumentation backplane, or null when SweepOptions did not
+     *  ask for metrics/tracing. */
+    ObsContext *obs() { return obs_.get(); }
+    const ObsContext *obs() const { return obs_.get(); }
+
+    /**
+     * Serialise the sweep telemetry — per-stage wall-clock cost, cache
+     * accounting, and (when enabled) every registered metric and the
+     * tracing session totals — as one JSON document. Call after
+     * runPending() returns (workers joined).
+     */
+    void writeTelemetryJson(std::ostream &os) const;
+
   private:
     /** Execute @p specs (none of which have results yet) as a DAG. */
     void executeBatch(const std::vector<ExperimentSpec> &specs);
@@ -146,6 +173,7 @@ class SweepEngine
     CacheGeometry geometry_;
     SweepOptions options_;
     SweepCounters counters_;
+    std::unique_ptr<ObsContext> obs_;
 
     /** Declared, not yet executed points. */
     std::vector<ExperimentSpec> pending_;

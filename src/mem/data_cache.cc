@@ -188,14 +188,20 @@ DataCache::noteDisplaced(const CacheFrame &frame, EvictedLine &evicted,
 {
     if (frame.tag == kNoAddr || !isValid(frame.state))
         return;
+    if (owner_cache.obs_.evictions)
+        owner_cache.obs_.evictions->inc();
     if (frame.state == LineState::Modified) {
         evicted.lineBase = frame.tag;
         evicted.dirty = true;
+        if (owner_cache.obs_.dirtyEvictions)
+            owner_cache.obs_.dirtyEvictions->inc();
     }
     if (frame.broughtByPrefetch && !frame.usedSinceFill) {
         // Prefetched data displaced before use: remember so the next
         // miss on it is classified "non-sharing, prefetched".
         owner_cache.markPrefetchLost(frame.tag);
+        if (owner_cache.obs_.prefetchLostEvictions)
+            owner_cache.obs_.prefetchLostEvictions->inc();
     }
 }
 

@@ -30,9 +30,25 @@
 #include "common/types.hh"
 #include "mem/bus_op.hh"
 #include "mem/cache_line.hh"
+#include "obs/metrics.hh"
 
 namespace prefsim
 {
+
+/**
+ * Instrumentation hooks for one cache (see obs/obs.hh). The counters
+ * are typically shared by every cache of one memory system (machine
+ * totals); null pointers (the default) disable them.
+ */
+struct CacheObs
+{
+    /** Valid lines displaced out of the cache + victim-buffer pair. */
+    obs::Counter *evictions = nullptr;
+    /** Subset of evictions that forced a writeback (Modified lines). */
+    obs::Counter *dirtyEvictions = nullptr;
+    /** Subset of evictions displacing prefetched-but-never-used data. */
+    obs::Counter *prefetchLostEvictions = nullptr;
+};
 
 /** An outstanding miss (fill in flight on the bus). */
 struct Mshr
@@ -53,6 +69,11 @@ struct Mshr
     bool invalFalseSharing = false;
     /** Bus transaction id (for priority promotion). */
     std::uint64_t busId = 0;
+    /** Cycle a blocked demand access attached itself to this (prefetch)
+     *  fill; valid when demandWaiting. The fill-completion-minus-attach
+     *  gap is the prefetch's *lateness* — the residual latency the
+     *  prefetch failed to hide. */
+    Cycle demandAttachedAt = 0;
 };
 
 /** A dirty line displaced out of the cache+victim pair (needs a bus
@@ -182,6 +203,9 @@ class DataCache
     /** Count of valid lines in the cache proper (tests/invariants). */
     std::size_t validLines() const;
 
+    /** Attach (or detach) instrumentation counters. */
+    void setObs(const CacheObs &o) { obs_ = o; }
+
   private:
     /** Pick the victim way in @p addr's set (invalid before LRU). */
     std::uint32_t victimWay(Addr addr) const;
@@ -212,6 +236,7 @@ class DataCache
 
     std::vector<Mshr> mshrs_;
     std::unordered_set<Addr> lost_prefetch_;
+    CacheObs obs_;
 };
 
 } // namespace prefsim

@@ -7,6 +7,35 @@
 namespace prefsim
 {
 
+namespace
+{
+
+/** Static-storage name for trace events (TraceEvent never owns). */
+[[maybe_unused]] constexpr const char *
+opCName(BusOpKind kind)
+{
+    switch (kind) {
+      case BusOpKind::ReadShared:
+        return "ReadShared";
+      case BusOpKind::ReadExclusive:
+        return "ReadExclusive";
+      case BusOpKind::Upgrade:
+        return "Upgrade";
+      case BusOpKind::WriteBack:
+        return "WriteBack";
+      case BusOpKind::WriteUpdate:
+        return "WriteUpdate";
+    }
+    return "BusOp";
+}
+
+/** Distinguishes data-transfer async spans from the transaction
+ *  lifetime spans they overlap (async pairs match on category + id;
+ *  transaction ids never reach this bit). */
+[[maybe_unused]] constexpr std::uint64_t kXferIdBit = 1ull << 63;
+
+} // namespace
+
 std::string
 busOpName(BusOpKind kind)
 {
@@ -41,7 +70,12 @@ SplitBus::request(const Transaction &t, Cycle now)
     Pending p;
     p.txn = t;
     p.id = next_id_++;
+#if PREFSIM_TRACING
+    p.requestedAt = now;
+#endif
     ++stats_.opCount[static_cast<unsigned>(t.kind)];
+    if (!BusTiming::isAddressClass(t.kind) && obs_.queueDepth)
+        obs_.queueDepth->record(waiting_.size());
     if (BusTiming::isAddressClass(t.kind)) {
         // Address-class operations ride the conflict-free address bus:
         // fixed latency, never queued behind data transfers (3.3).
@@ -107,6 +141,12 @@ SplitBus::tick(Cycle now)
     for (std::size_t i = 0; i < addr_ops_.size();) {
         if (now >= addr_ops_[i].readyAt) {
             const Transaction done = addr_ops_[i].txn;
+            PREFSIM_TRACE(obs_.trace,
+                          asyncSpan(obs_.trace->busTid(),
+                                    opCName(done.kind), obs::TraceCat::Bus,
+                                    addr_ops_[i].id,
+                                    addr_ops_[i].requestedAt, now,
+                                    done.lineBase, done.requester));
             addr_ops_.erase(addr_ops_.begin() +
                             static_cast<std::ptrdiff_t>(i));
             if (completion_)
@@ -119,6 +159,12 @@ SplitBus::tick(Cycle now)
     for (std::size_t i = 0; i < active_.size();) {
         if (now >= active_[i].endsAt) {
             const Transaction done = active_[i].pending.txn;
+            PREFSIM_TRACE(obs_.trace,
+                          asyncSpan(obs_.trace->busTid(),
+                                    opCName(done.kind), obs::TraceCat::Bus,
+                                    active_[i].pending.id,
+                                    active_[i].pending.requestedAt, now,
+                                    done.lineBase, done.requester));
             active_.erase(active_.begin() +
                           static_cast<std::ptrdiff_t>(i));
             if (completion_)
@@ -144,9 +190,31 @@ SplitBus::tick(Cycle now)
         if (demand) {
             stats_.queueWaitDemand += wait;
             ++stats_.grantsDemand;
+            if (obs_.arbWaitDemand)
+                obs_.arbWaitDemand->record(wait);
         } else {
             stats_.queueWaitPrefetch += wait;
             ++stats_.grantsPrefetch;
+            if (obs_.arbWaitPrefetch)
+                obs_.arbWaitPrefetch->record(wait);
+        }
+        // Data-bus occupancy. With a single channel grants are strictly
+        // sequential, so a synchronous span nests; with parallel
+        // channels transfers overlap and need async pairing (the id bit
+        // keeps them distinct from the transaction-lifetime spans).
+        if (timing_.dataChannels == 1) {
+            PREFSIM_TRACE(obs_.trace,
+                          span(obs_.trace->busTid(), "transfer",
+                               obs::TraceCat::Bus, now, a.endsAt,
+                               a.pending.txn.lineBase,
+                               a.pending.txn.requester));
+        } else {
+            PREFSIM_TRACE(obs_.trace,
+                          asyncSpan(obs_.trace->busTid(), "transfer",
+                                    obs::TraceCat::Bus,
+                                    a.pending.id | kXferIdBit, now,
+                                    a.endsAt, a.pending.txn.lineBase,
+                                    a.pending.txn.requester));
         }
         rr_next_ = (a.pending.txn.requester == kNoProc
                         ? rr_next_

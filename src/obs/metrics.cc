@@ -1,0 +1,184 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+
+#include "common/json.hh"
+#include "common/log.hh"
+
+namespace prefsim
+{
+namespace obs
+{
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(bounds_.empty() ? 0 : bounds_.size() - 1)
+{
+    prefsim_assert(!bounds_.empty(),
+                   "histogram needs at least one boundary");
+    prefsim_assert(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                       std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                           bounds_.end(),
+                   "histogram boundaries must be strictly ascending");
+}
+
+void
+Histogram::record(std::uint64_t v)
+{
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    if (v < bounds_.front()) {
+        underflow_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    if (v >= bounds_.back()) {
+        overflow_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    // First boundary strictly greater than v opens the bucket after the
+    // one v belongs to; a value equal to a boundary lands in the bucket
+    // that boundary opens.
+    const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v);
+    const std::size_t idx =
+        static_cast<std::size_t>(it - bounds_.begin()) - 1;
+    counts_[idx].fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts_)
+        c.store(0, std::memory_order_relaxed);
+    underflow_.store(0, std::memory_order_relaxed);
+    overflow_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::bucketCount(std::size_t i) const
+{
+    prefsim_assert(i < counts_.size(), "histogram bucket out of range");
+    return counts_[i].load(std::memory_order_relaxed);
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<std::uint64_t> bounds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = histograms_[name];
+    if (!slot) {
+        slot = std::make_unique<Histogram>(std::move(bounds));
+    } else {
+        prefsim_assert(slot->bounds() == bounds,
+                       "histogram '", name,
+                       "' re-registered with different boundaries");
+    }
+    return *slot;
+}
+
+bool
+MetricsRegistry::empty() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+void
+MetricsRegistry::writeJson(JsonWriter &j) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    j.beginObject();
+    j.key("counters").beginObject();
+    for (const auto &[name, c] : counters_)
+        j.key(name).value(c->value());
+    j.endObject();
+    j.key("gauges").beginObject();
+    for (const auto &[name, g] : gauges_) {
+        const std::int64_t v = g->value();
+        // Gauges are signed; the writer is not. Negative depths and the
+        // like do not occur today, so emit via double if it happens.
+        if (v >= 0)
+            j.key(name).value(static_cast<std::uint64_t>(v));
+        else
+            j.key(name).value(static_cast<double>(v));
+    }
+    j.endObject();
+    j.key("histograms").beginObject();
+    for (const auto &[name, h] : histograms_) {
+        j.key(name).beginObject();
+        j.key("bounds").beginArray();
+        for (const std::uint64_t b : h->bounds())
+            j.value(b);
+        j.endArray();
+        j.key("counts").beginArray();
+        for (std::size_t i = 0; i < h->numBuckets(); ++i)
+            j.value(h->bucketCount(i));
+        j.endArray();
+        j.key("underflow").value(h->underflow());
+        j.key("overflow").value(h->overflow());
+        j.key("count").value(h->count());
+        j.key("sum").value(h->sum());
+        j.key("mean").value(h->mean());
+        j.endObject();
+    }
+    j.endObject();
+    j.endObject();
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->set(0);
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+std::vector<std::uint64_t>
+powerOfTwoBounds(unsigned max_log2)
+{
+    std::vector<std::uint64_t> bounds;
+    bounds.reserve(max_log2 + 2);
+    bounds.push_back(0);
+    for (unsigned i = 0; i <= max_log2; ++i)
+        bounds.push_back(std::uint64_t{1} << i);
+    return bounds;
+}
+
+std::vector<std::uint64_t>
+linearBounds(std::uint64_t n)
+{
+    std::vector<std::uint64_t> bounds;
+    bounds.reserve(n + 1);
+    for (std::uint64_t i = 0; i <= n; ++i)
+        bounds.push_back(i);
+    return bounds;
+}
+
+} // namespace obs
+} // namespace prefsim

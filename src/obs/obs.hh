@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The observability context: one metrics registry plus one tracer,
+ * shared by every simulation a sweep runs.
+ *
+ * Ownership: a SweepEngine (or an embedder, or a test) creates an
+ * ObsContext and points SimConfig::obs at it; each Simulator registers
+ * its components' metrics in the registry and, when tracing is
+ * compiled in (PREFSIM_TRACING) and enabled at runtime, records the
+ * run into a per-run TraceBuffer committed back to the tracer. A null
+ * ObsContext pointer — the default everywhere — means every
+ * instrumentation pointer stays null and the simulator runs exactly
+ * as before.
+ */
+
+#ifndef PREFSIM_OBS_OBS_HH
+#define PREFSIM_OBS_OBS_HH
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace prefsim
+{
+
+/** Shared instrumentation backplane (see file comment). */
+struct ObsContext
+{
+    obs::MetricsRegistry metrics;
+    obs::Tracer tracer;
+};
+
+} // namespace prefsim
+
+#endif // PREFSIM_OBS_OBS_HH

@@ -29,6 +29,41 @@ MemorySystem::MemorySystem(unsigned num_procs, const CacheGeometry &geom,
         [this](const Transaction &t, Cycle now) { onBusComplete(t, now); });
 }
 
+void
+MemorySystem::attachObs(ObsContext &ctx, obs::TraceBuffer *trace)
+{
+    // Bus: queue depth seen by arriving requests, and the arbitration
+    // wait of each class (paper §3.3's demand-first policy made visible).
+    BusObs bo;
+    bo.queueDepth =
+        &ctx.metrics.histogram("bus.queue_depth", obs::linearBounds(32));
+    bo.arbWaitDemand = &ctx.metrics.histogram("bus.arb_wait_demand",
+                                              obs::powerOfTwoBounds(14));
+    bo.arbWaitPrefetch = &ctx.metrics.histogram("bus.arb_wait_prefetch",
+                                                obs::powerOfTwoBounds(14));
+    bo.trace = trace;
+    bus_.setObs(bo);
+
+    // Caches: machine-total eviction accounting (one shared set of
+    // counters; per-processor splits live in ProcStats already).
+    CacheObs co;
+    co.evictions = &ctx.metrics.counter("cache.evictions");
+    co.dirtyEvictions = &ctx.metrics.counter("cache.evictions_dirty");
+    co.prefetchLostEvictions =
+        &ctx.metrics.counter("cache.evictions_prefetch_unused");
+    for (auto &c : caches_)
+        c->setObs(co);
+
+    obs_.prefetchLateness = &ctx.metrics.histogram(
+        "prefetch.lateness_cycles", obs::powerOfTwoBounds(14));
+    obs_.invalidations = &ctx.metrics.counter("coherence.invalidations");
+    obs_.downgrades = &ctx.metrics.counter("coherence.downgrades");
+    obs_.deadFills = &ctx.metrics.counter("coherence.dead_fills");
+    obs_.lateDemandAttach =
+        &ctx.metrics.counter("prefetch.late_demand_attach");
+    obs_.trace = trace;
+}
+
 MemorySystem::SnoopSummary
 MemorySystem::probeOthers(ProcId requester, Addr line_base) const
 {
@@ -51,14 +86,23 @@ MemorySystem::probeOthers(ProcId requester, Addr line_base) const
 }
 
 void
-MemorySystem::downgradeOthers(ProcId requester, Addr line_base)
+MemorySystem::downgradeOthers(ProcId requester, Addr line_base, Cycle now)
 {
+    (void)now; // Only read by tracing emission sites.
     for (ProcId p = 0; p < caches_.size(); ++p) {
         if (p == requester)
             continue;
         DataCache &c = *caches_[p];
         if (CacheFrame *f = c.findAny(line_base)) {
             if (isValid(f->state)) {
+                if (isPrivate(f->state)) {
+                    if (obs_.downgrades)
+                        obs_.downgrades->inc();
+                    PREFSIM_TRACE(obs_.trace,
+                                  instant(p, "downgrade",
+                                          obs::TraceCat::Coherence, now,
+                                          line_base, requester));
+                }
                 // Illinois: an M owner flushes while supplying the line;
                 // the transfer itself is the requester's bus operation.
                 f->state = LineState::Shared;
@@ -83,14 +127,21 @@ MemorySystem::downgradeOthers(ProcId requester, Addr line_base)
 
 void
 MemorySystem::invalidateOthers(ProcId requester, Addr line_base,
-                               std::uint32_t word)
+                               std::uint32_t word, Cycle now)
 {
+    (void)now; // Only read by tracing emission sites.
     for (ProcId p = 0; p < caches_.size(); ++p) {
         if (p == requester)
             continue;
         DataCache &c = *caches_[p];
         if (CacheFrame *f = c.findAny(line_base)) {
             if (isValid(f->state)) {
+                if (obs_.invalidations)
+                    obs_.invalidations->inc();
+                PREFSIM_TRACE(obs_.trace,
+                              instant(p, "invalidate",
+                                      obs::TraceCat::Coherence, now,
+                                      line_base, requester));
                 // False sharing: the invalidating write targets a word
                 // this processor never touched in the residency (§4.4).
                 f->invalFalseSharing = (f->accessMask >> word & 1u) == 0;
@@ -109,6 +160,12 @@ MemorySystem::invalidateOthers(ProcId requester, Addr line_base,
         Mshr *m = c.findMshr(line_base);
         if (m && !m->arriveInvalid) {
             m->arriveInvalid = true;
+            if (obs_.invalidations)
+                obs_.invalidations->inc();
+            PREFSIM_TRACE(obs_.trace,
+                          instant(p, "kill_inflight_fill",
+                                  obs::TraceCat::Coherence, now, line_base,
+                                  requester));
             // No word of the in-flight line has been accessed yet; the
             // only local interest we know of is a blocked demand access
             // to demandWord.
@@ -151,7 +208,7 @@ MemorySystem::demandAccess(ProcId proc, Addr addr, bool is_write, Cycle now)
         t.issuedAt = now;
         if (protocol_ == CoherenceProtocol::WriteInvalidate) {
             t.kind = BusOpKind::Upgrade;
-            invalidateOthers(proc, base, word);
+            invalidateOthers(proc, base, word, now);
         } else {
             t.kind = BusOpKind::WriteUpdate;
             // Receivers keep their copies; memory is updated by the
@@ -177,7 +234,13 @@ MemorySystem::demandAccess(ProcId proc, Addr addr, bool is_write, Cycle now)
             ++stats_[proc].misses.prefetchInProgress;
             m->demandWaiting = true;
             m->demandWord = word;
+            m->demandAttachedAt = now;
             bus_.promoteToDemand(m->busId);
+            if (obs_.lateDemandAttach)
+                obs_.lateDemandAttach->inc();
+            PREFSIM_TRACE(obs_.trace,
+                          instant(proc, "late_demand_attach",
+                                  obs::TraceCat::Prefetch, now, base));
         }
         return AccessResult::InProgressWait;
     }
@@ -234,17 +297,17 @@ MemorySystem::demandAccess(ProcId proc, Addr addr, bool is_write, Cycle now)
     if (is_write && protocol_ == CoherenceProtocol::WriteInvalidate) {
         t.kind = BusOpKind::ReadExclusive;
         target = LineState::Modified;
-        invalidateOthers(proc, base, word);
+        invalidateOthers(proc, base, word, now);
     } else if (is_write) {
         // Write-update: fetch the line shared; the retried write then
         // upgrades silently (alone) or broadcasts an update (shared).
         t.kind = BusOpKind::ReadShared;
         target = snoop.anyCopy ? LineState::Shared : LineState::Modified;
-        downgradeOthers(proc, base);
+        downgradeOthers(proc, base, now);
     } else {
         t.kind = BusOpKind::ReadShared;
         target = snoop.anyCopy ? LineState::Shared : LineState::Exclusive;
-        downgradeOthers(proc, base);
+        downgradeOthers(proc, base, now);
     }
     Mshr &m = c.allocateMshr(base, target, /*is_prefetch=*/false);
     m.demandWaiting = true;
@@ -297,15 +360,20 @@ MemorySystem::prefetchAccess(ProcId proc, Addr addr, bool exclusive,
         // Illinois private-clean state (§3.3).
         t.kind = BusOpKind::ReadExclusive;
         target = LineState::Exclusive;
-        invalidateOthers(proc, base, word);
+        invalidateOthers(proc, base, word, now);
     } else {
         t.kind = BusOpKind::ReadShared;
         target = snoop.anyCopy ? LineState::Shared : LineState::Exclusive;
-        downgradeOthers(proc, base);
+        downgradeOthers(proc, base, now);
     }
     Mshr &m = c.allocateMshr(base, target, /*is_prefetch=*/true);
     m.busId = bus_.request(t, now);
     ++stats_[proc].prefetchMisses;
+    PREFSIM_TRACE(obs_.trace,
+                  instant(proc,
+                          exclusive ? "prefetch_excl_issue"
+                                    : "prefetch_issue",
+                          obs::TraceCat::Prefetch, now, base));
     return PrefetchResult::Issued;
 }
 
@@ -378,6 +446,22 @@ MemorySystem::onBusComplete(const Transaction &txn, Cycle now)
       case BusOpKind::ReadExclusive: {
         DataCache &c = *caches_[txn.requester];
         const Mshr m = c.releaseMshr(txn.lineBase);
+        // The prefetch was late: a demand access has been blocked on
+        // this fill since demandAttachedAt. (Demand misses record their
+        // full wait in ProcStats; this histogram isolates the residual
+        // latency prefetching failed to hide.)
+        if (m.isPrefetch && m.demandWaiting && obs_.prefetchLateness)
+            obs_.prefetchLateness->record(now - m.demandAttachedAt);
+        if (m.arriveInvalid && obs_.deadFills)
+            obs_.deadFills->inc();
+        PREFSIM_TRACE(obs_.trace,
+                      instant(txn.requester,
+                              m.arriveInvalid ? "dead_fill"
+                              : m.isPrefetch  ? "prefetch_fill"
+                                              : "fill",
+                              m.isPrefetch ? obs::TraceCat::Prefetch
+                                           : obs::TraceCat::Coherence,
+                              now, txn.lineBase));
         if (pdb_entries_ > 0 && m.isPrefetch && !m.demandWaiting) {
             // Buffer-target mode: the prefetched line parks beside the
             // cache instead of filling it (3.1). Dead arrivals are

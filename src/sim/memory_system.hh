@@ -33,10 +33,34 @@
 #include "common/types.hh"
 #include "mem/data_cache.hh"
 #include "mem/split_bus.hh"
+#include "obs/obs.hh"
 #include "sim/sim_stats.hh"
 
 namespace prefsim
 {
+
+/**
+ * Instrumentation hooks for the memory system itself (the bus and the
+ * caches carry their own; see attachObs). Null = disabled.
+ */
+struct MemObs
+{
+    /** Cycles a blocked demand access waited for the in-flight prefetch
+     *  fill it attached to (the latency the prefetch failed to hide).
+     *  A prefetch that completes before its demand access never records
+     *  here. */
+    obs::Histogram *prefetchLateness = nullptr;
+    /** Remote copies (or in-flight fills) invalidated. */
+    obs::Counter *invalidations = nullptr;
+    /** Remote private (M/E) copies downgraded to Shared. */
+    obs::Counter *downgrades = nullptr;
+    /** Fills that arrived dead (invalidated while in flight). */
+    obs::Counter *deadFills = nullptr;
+    /** Demand accesses that found their line's prefetch in flight. */
+    obs::Counter *lateDemandAttach = nullptr;
+    /** Per-run event sink (only ever set when PREFSIM_TRACING=1). */
+    obs::TraceBuffer *trace = nullptr;
+};
 
 /**
  * Coherence protocol family.
@@ -102,6 +126,14 @@ class MemorySystem
     void setWake(WakeFn fn) { wake_ = std::move(fn); }
 
     /**
+     * Register this memory system's metrics in @p ctx and wire @p trace
+     * (may be null: metrics without event tracing) through to the bus
+     * and the caches. Idempotent; not called at all in the default
+     * uninstrumented configuration.
+     */
+    void attachObs(ObsContext &ctx, obs::TraceBuffer *trace);
+
+    /**
      * Observer invoked on every classified CPU miss with the line base
      * and whether it was an invalidation miss. Used by tests and the
      * diagnostic tools; adds no cost when unset.
@@ -159,7 +191,7 @@ class MemorySystem
     SnoopSummary probeOthers(ProcId requester, Addr line_base) const;
 
     /** Downgrade every other copy to Shared (remote ReadShared). */
-    void downgradeOthers(ProcId requester, Addr line_base);
+    void downgradeOthers(ProcId requester, Addr line_base, Cycle now);
 
     /**
      * Invalidate every other copy / in-flight fill of @p line_base.
@@ -167,7 +199,7 @@ class MemorySystem
      * false-sharing attribution.
      */
     void invalidateOthers(ProcId requester, Addr line_base,
-                          std::uint32_t word);
+                          std::uint32_t word, Cycle now);
 
     /** Bus completion dispatcher. */
     void onBusComplete(const Transaction &txn, Cycle now);
@@ -186,6 +218,7 @@ class MemorySystem
     std::vector<ProcStats> &stats_;
     WakeFn wake_;
     MissObserverFn miss_observer_;
+    MemObs obs_;
 
     /** Pending upgrade per processor (line base; kNoAddr when none). */
     std::vector<Addr> pending_upgrade_;

@@ -53,14 +53,17 @@ Processor::executeAccess(Cycle now)
       case AccessResult::MissWait:
         state_ = State::WaitMemory;
         ++stats_.stallDemand;
+        markStall("stall_miss", obs::TraceCat::Exec, now);
         return false;
       case AccessResult::UpgradeWait:
         state_ = State::WaitMemory;
         ++stats_.stallUpgrade;
+        markStall("stall_upgrade", obs::TraceCat::Exec, now);
         return false;
       case AccessResult::InProgressWait:
         state_ = State::WaitMemory;
         ++stats_.stallDemand;
+        markStall("stall_inflight_prefetch", obs::TraceCat::Exec, now);
         return false;
     }
     prefsim_panic("unknown access result");
@@ -93,6 +96,10 @@ Processor::tick(Cycle now)
         if (locks_.tryAcquire(r.sync, id_)) {
             ++stats_.busy;
             state_ = State::Running;
+            endStall(now);
+            PREFSIM_TRACE(trace_buf_,
+                          instant(id_, "lock_acquire", obs::TraceCat::Sync,
+                                  now, kNoAddr, r.sync));
             advance(now);
         } else {
             ++stats_.spinLock;
@@ -111,6 +118,7 @@ Processor::tick(Cycle now)
             ++stats_.busy;
             ++stats_.prefetchesExecuted;
             state_ = State::Running;
+            endStall(now);
             advance(now);
         }
         return;
@@ -164,6 +172,7 @@ Processor::tick(Cycle now)
         if (res == PrefetchResult::BufferFull) {
             ++stats_.stallPrefetchQueue;
             state_ = State::StallPrefetch;
+            markStall("stall_prefetch_buffer", obs::TraceCat::Exec, now);
         } else {
             ++stats_.busy;
             ++stats_.prefetchesExecuted;
@@ -175,21 +184,31 @@ Processor::tick(Cycle now)
       case RecordKind::LockAcquire:
         if (locks_.tryAcquire(r.sync, id_)) {
             ++stats_.busy;
+            PREFSIM_TRACE(trace_buf_,
+                          instant(id_, "lock_acquire", obs::TraceCat::Sync,
+                                  now, kNoAddr, r.sync));
             advance(now);
         } else {
             ++stats_.spinLock;
             state_ = State::SpinLock;
+            markStall("spin_lock", obs::TraceCat::Sync, now);
         }
         return;
 
       case RecordKind::LockRelease:
         ++stats_.busy;
         locks_.release(r.sync, id_);
+        PREFSIM_TRACE(trace_buf_,
+                      instant(id_, "lock_release", obs::TraceCat::Sync,
+                              now, kNoAddr, r.sync));
         advance(now);
         return;
 
       case RecordKind::Barrier:
         ++stats_.busy;
+        PREFSIM_TRACE(trace_buf_,
+                      instant(id_, "barrier_arrive", obs::TraceCat::Sync,
+                              now, kNoAddr, r.sync));
         if (barriers_.arrive(r.sync, id_)) {
             // Last arrival: everyone proceeds.
             advance(now);
@@ -197,6 +216,7 @@ Processor::tick(Cycle now)
                 release_all_(now);
         } else {
             state_ = State::WaitBarrier;
+            markStall("wait_barrier", obs::TraceCat::Sync, now);
         }
         return;
     }
@@ -209,6 +229,7 @@ Processor::wake(bool retry, Cycle now)
     prefsim_assert(state_ == State::WaitMemory,
                    "wake() on proc ", id_, " in state ", describeState());
     state_ = State::Running;
+    endStall(now);
     ++progress_;
     if (!retry) {
         // The blocked access was satisfied by the completing operation.
@@ -225,6 +246,7 @@ Processor::barrierRelease(Cycle now)
                    "barrierRelease() on proc ", id_, " in state ",
                    describeState());
     state_ = State::Running;
+    endStall(now);
     ++progress_;
     advance(now);
 }

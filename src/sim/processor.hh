@@ -17,6 +17,7 @@
 #include <functional>
 
 #include "common/types.hh"
+#include "obs/trace.hh"
 #include "sim/memory_system.hh"
 #include "sim/sim_stats.hh"
 #include "sim/sync.hh"
@@ -58,6 +59,9 @@ class Processor
     /** Human-readable state (deadlock diagnostics). */
     std::string describeState() const;
 
+    /** Attach this run's event sink (null detaches; no-op by default). */
+    void setTrace(obs::TraceBuffer *t) { trace_buf_ = t; }
+
   private:
     enum class State : std::uint8_t
     {
@@ -76,6 +80,33 @@ class Processor
      *  @return true if the record completed. */
     bool executeAccess(Cycle now);
 
+    /** Note a stall beginning (tracing bookkeeping; compiled out by
+     *  default). The matching endStall() emits the stall as one span on
+     *  this processor's track — a processor has at most one stall open
+     *  at a time, so the spans nest trivially. */
+    void
+    markStall(const char *name, obs::TraceCat cat, Cycle now)
+    {
+#if PREFSIM_TRACING
+        stall_name_ = name;
+        stall_cat_ = cat;
+        stall_begin_ = now;
+#else
+        (void)name;
+        (void)cat;
+        (void)now;
+#endif
+    }
+
+    /** Emit the span opened by the last markStall(). */
+    void
+    endStall(Cycle now)
+    {
+        PREFSIM_TRACE(trace_buf_, span(id_, stall_name_, stall_cat_,
+                                       stall_begin_, now));
+        (void)now;
+    }
+
     ProcId id_;
     const Trace &trace_;
     MemorySystem &mem_;
@@ -89,6 +120,11 @@ class Processor
     std::uint32_t instr_left_ = 0;///< Remaining count of an Instr record.
     bool in_access_phase_ = false;///< Ref record: instruction cycle done.
     std::uint64_t progress_ = 0;
+
+    obs::TraceBuffer *trace_buf_ = nullptr;
+    Cycle stall_begin_ = 0;       ///< Open-stall bookkeeping (tracing).
+    const char *stall_name_ = "stall";
+    obs::TraceCat stall_cat_ = obs::TraceCat::Exec;
 };
 
 } // namespace prefsim

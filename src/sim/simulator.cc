@@ -47,6 +47,17 @@ Simulator::Simulator(const ParallelTrace &trace, const SimConfig &config)
             p, trace.procs[p], *mem_, locks_, barriers_, proc_stats_[p],
             release_all));
     }
+
+    if (config.obs) {
+        // beginSession returns null when tracing is disabled or the
+        // session budget is spent; metrics attach either way.
+        trace_buf_ = config.obs->tracer.beginSession(
+            static_cast<std::uint32_t>(trace.numProcs()),
+            config.traceLabel.empty() ? "run" : config.traceLabel);
+        mem_->attachObs(*config.obs, trace_buf_.get());
+        for (auto &pr : procs_)
+            pr->setTrace(trace_buf_.get());
+    }
 }
 
 void
@@ -132,6 +143,8 @@ Simulator::run()
             ps.finishedAt > warmup_end_ ? ps.finishedAt - warmup_end_ : 0;
     }
     stats.bus = mem_->bus().stats();
+    if (config_.obs && trace_buf_)
+        config_.obs->tracer.commit(std::move(trace_buf_));
     return stats;
 }
 

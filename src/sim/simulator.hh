@@ -12,11 +12,13 @@
 #define PREFSIM_SIM_SIMULATOR_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/cache_geometry.hh"
 #include "common/types.hh"
 #include "mem/split_bus.hh"
+#include "obs/obs.hh"
 #include "sim/memory_system.hh"
 #include "sim/processor.hh"
 #include "sim/sim_stats.hh"
@@ -64,6 +66,15 @@ struct SimConfig
      * declares a deadlock and panics with a state dump.
      */
     Cycle deadlockWindow = 2'000'000;
+    /**
+     * Instrumentation backplane (not owned; must outlive the run). Null
+     * — the default — leaves every component uninstrumented: no
+     * registry lookups, no event recording, identical simulation.
+     */
+    ObsContext *obs = nullptr;
+    /** Label of this run's trace session (sweep spec label; shown as
+     *  the Chrome trace process name). */
+    std::string traceLabel;
 };
 
 /**
@@ -114,6 +125,8 @@ class Simulator
     BarrierManager barriers_;
     std::vector<std::unique_ptr<Processor>> procs_;
     Cycle cycle_ = 0;
+    /** This run's trace session; committed to the tracer by run(). */
+    std::unique_ptr<obs::TraceBuffer> trace_buf_;
 
     Cycle last_progress_check_ = 0;
     std::uint64_t last_progress_value_ = 0;

@@ -23,7 +23,13 @@ CsvWriter::row(const std::vector<std::string> &cells)
 std::string
 CsvWriter::escape(const std::string &field)
 {
-    if (field.find_first_of(",\"\n") == std::string::npos)
+    // Quote on separators/quotes/newlines (RFC 4180) and also on CR and
+    // leading/trailing whitespace, which many readers silently trim or
+    // mangle when unquoted.
+    const bool edge_space =
+        !field.empty() && (field.front() == ' ' || field.front() == '\t' ||
+                           field.back() == ' ' || field.back() == '\t');
+    if (!edge_space && field.find_first_of(",\"\n\r") == std::string::npos)
         return field;
     std::string out = "\"";
     for (char ch : field) {

@@ -13,7 +13,8 @@
 namespace prefsim
 {
 
-/** Minimal CSV writer (quotes fields containing separators). */
+/** Minimal CSV writer (quotes fields containing separators, quotes,
+ *  CR/LF, or leading/trailing whitespace). */
 class CsvWriter
 {
   public:

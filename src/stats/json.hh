@@ -1,67 +1,26 @@
 /**
  * @file
  * JSON serialisation of simulation results, for downstream plotting and
- * archival of experiment outputs — plus the strict parser that reads
- * them back (the sweep engine's on-disk result cache round-trips
- * through this pair).
+ * archival of experiment outputs.
+ *
+ * The generic machinery — JsonWriter, JsonValue and the strict
+ * parseJson (the sweep engine's on-disk result cache round-trips
+ * through that pair) — lives in common/json.hh so lower layers (the
+ * observability subsystem in particular) can use it too; this header
+ * re-exports it and adds the SimStats writer.
  */
 
 #ifndef PREFSIM_STATS_JSON_HH
 #define PREFSIM_STATS_JSON_HH
 
-#include <cstdint>
 #include <iosfwd>
-#include <memory>
-#include <optional>
 #include <string>
-#include <utility>
-#include <vector>
 
+#include "common/json.hh"
 #include "sim/sim_stats.hh"
 
 namespace prefsim
 {
-
-/**
- * Minimal JSON value writer (objects, arrays, numbers, strings).
- *
- * Emits compact, valid JSON; strings are escaped per RFC 8259. Usage:
- *
- *   JsonWriter j(os);
- *   j.beginObject();
- *   j.key("cycles").value(123);
- *   j.key("procs").beginArray();
- *   ...
- */
-class JsonWriter
-{
-  public:
-    explicit JsonWriter(std::ostream &os);
-
-    JsonWriter &beginObject();
-    JsonWriter &endObject();
-    JsonWriter &beginArray();
-    JsonWriter &endArray();
-    JsonWriter &key(const std::string &name);
-    JsonWriter &value(const std::string &v);
-    JsonWriter &value(const char *v);
-    JsonWriter &value(double v);
-    JsonWriter &value(std::uint64_t v);
-    JsonWriter &value(bool v);
-
-    /** Escape a string per JSON rules (quotes included). */
-    static std::string escape(const std::string &s);
-
-  private:
-    /** Emit a comma if the current container already has an element. */
-    void separate();
-
-    std::ostream &os_;
-    /** Per-depth flag: something was emitted at this level. */
-    std::string state_; // 'o' object, 'a' array; paired with has_.
-    std::string has_;
-    bool pending_key_ = false;
-};
 
 /**
  * Serialise @p stats as a JSON object: the headline rates, the bus
@@ -70,56 +29,6 @@ class JsonWriter
  */
 void writeJson(std::ostream &os, const SimStats &stats,
                const std::string &label = "");
-
-/**
- * A parsed JSON value (RFC 8259 subset: no surrogate-pair decoding in
- * \u escapes beyond the BMP).
- *
- * Numbers keep their source text so 64-bit counters survive the
- * round-trip exactly — asU64() re-parses the raw token rather than
- * going through a double.
- */
-class JsonValue
-{
-  public:
-    enum class Kind { Null, Bool, Number, String, Array, Object };
-    using Member = std::pair<std::string, JsonValue>;
-
-    JsonValue() = default;
-
-    Kind kind() const { return kind_; }
-    bool isObject() const { return kind_ == Kind::Object; }
-    bool isArray() const { return kind_ == Kind::Array; }
-    bool isNumber() const { return kind_ == Kind::Number; }
-    bool isString() const { return kind_ == Kind::String; }
-
-    /** Value accessors; panic if the kind does not match. */
-    bool asBool() const;
-    double asDouble() const;
-    std::uint64_t asU64() const;
-    const std::string &asString() const;
-    const std::vector<JsonValue> &array() const;
-    const std::vector<Member> &members() const;
-
-    /** Member lookup; nullptr when absent or not an object. */
-    const JsonValue *find(const std::string &key) const;
-
-  private:
-    friend class JsonParser;
-
-    Kind kind_ = Kind::Null;
-    bool bool_ = false;
-    std::string scalar_; ///< Raw number token, or the decoded string.
-    std::vector<JsonValue> elems_;
-    std::vector<Member> members_;
-};
-
-/**
- * Parse @p text as one JSON document. Strict: malformed syntax,
- * truncated input or trailing garbage all yield nullopt (which is how
- * the result cache detects corrupt entries).
- */
-std::optional<JsonValue> parseJson(const std::string &text);
 
 } // namespace prefsim
 

@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "common/log.hh"
 #include "stats/json.hh"
@@ -86,6 +88,21 @@ TEST(Csv, EscapesSeparatorsAndQuotes)
     EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
 }
 
+TEST(Csv, EscapesCarriageReturnAndEdgeWhitespace)
+{
+    // CR and leading/trailing whitespace are silently trimmed or mangled
+    // by many readers when left unquoted (regression: escape() used to
+    // pass these through bare).
+    EXPECT_EQ(CsvWriter::escape("a\rb"), "\"a\rb\"");
+    EXPECT_EQ(CsvWriter::escape("a\r\nb"), "\"a\r\nb\"");
+    EXPECT_EQ(CsvWriter::escape(" lead"), "\" lead\"");
+    EXPECT_EQ(CsvWriter::escape("trail "), "\"trail \"");
+    EXPECT_EQ(CsvWriter::escape("\ttab"), "\"\ttab\"");
+    EXPECT_EQ(CsvWriter::escape("tab\t"), "\"tab\t\"");
+    // Interior whitespace needs no quoting.
+    EXPECT_EQ(CsvWriter::escape("in side"), "in side");
+}
+
 TEST(Csv, MultipleRows)
 {
     std::ostringstream os;
@@ -104,6 +121,58 @@ TEST(Logging, QuietSuppressesWarnings)
     prefsim_inform("should not appear");
     setQuiet(false);
     EXPECT_FALSE(quiet());
+}
+
+TEST(Logging, ScopedSinkCapturesAndRestoresPrevious)
+{
+    std::string outer;
+    ScopedLogSink outer_guard(
+        [&](LogLevel, const std::string &m) { outer += m; });
+    {
+        std::vector<std::pair<LogLevel, std::string>> inner;
+        ScopedLogSink inner_guard([&](LogLevel lv, const std::string &m) {
+            inner.emplace_back(lv, m);
+        });
+        prefsim_warn("to-inner ", 1);
+        prefsim_inform("to-inner ", 2);
+        ASSERT_EQ(inner.size(), 2u);
+        EXPECT_EQ(inner[0].first, LogLevel::Warn);
+        EXPECT_NE(inner[0].second.find("to-inner 1"), std::string::npos);
+        EXPECT_EQ(inner[1].first, LogLevel::Inform);
+        EXPECT_TRUE(outer.empty());
+    }
+    // inner_guard's destructor restored the outer sink, not the default.
+    prefsim_warn("to-outer");
+    EXPECT_NE(outer.find("to-outer"), std::string::npos);
+}
+
+TEST(Logging, ThresholdFiltersBelowLevel)
+{
+    std::vector<LogLevel> seen;
+    ScopedLogSink guard(
+        [&](LogLevel lv, const std::string &) { seen.push_back(lv); });
+    const LogLevel before = setLogThreshold(LogLevel::Warn);
+    EXPECT_EQ(before, LogLevel::Inform); // The default threshold.
+    prefsim_inform("suppressed");
+    prefsim_debug("suppressed");
+    prefsim_warn("emitted");
+    setLogThreshold(LogLevel::Debug);
+    prefsim_debug("emitted");
+    setLogThreshold(before);
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], LogLevel::Warn);
+    EXPECT_EQ(seen[1], LogLevel::Debug);
+}
+
+TEST(Logging, ParseLogLevelNames)
+{
+    EXPECT_EQ(parseLogLevel("error"), LogLevel::Fatal);
+    EXPECT_EQ(parseLogLevel("warn"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("warning"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("info"), LogLevel::Inform);
+    EXPECT_EQ(parseLogLevel("debug"), LogLevel::Debug);
+    EXPECT_FALSE(parseLogLevel("bogus").has_value());
+    EXPECT_FALSE(parseLogLevel("").has_value());
 }
 
 TEST(LoggingDeathTest, PanicAborts)

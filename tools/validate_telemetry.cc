@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Structural validator for the observability layer's JSON outputs.
+ *
+ *   validate_telemetry METRICS.json [TRACE.json]
+ *
+ * Strict-parses (common/json.hh — the same parser the result cache
+ * uses to detect corruption) and then checks shape:
+ *
+ *  - METRICS.json must be a prefsim-telemetry-v1 document with the
+ *    sweep stage counters/timings, and any histogram present must be
+ *    internally consistent (counts match bounds, bucket totals +
+ *    under/overflow == count).
+ *  - TRACE.json (optional) must be a Chrome trace-event document:
+ *    a traceEvents array whose synchronous B/E events pair up in stack
+ *    order per (pid, tid), whose async b/e events pair by
+ *    (cat, id, scope), and whose timestamps are monotone per pid.
+ *
+ * Exits 0 when everything holds; prints the first violation and exits
+ * 1 otherwise. scripts/check.sh runs this over the bench output of
+ * both the default and the -DPREFSIM_TRACING=ON configurations.
+ */
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace
+{
+
+using prefsim::JsonValue;
+
+[[noreturn]] void
+fail(const std::string &what)
+{
+    std::cerr << "validate_telemetry: " << what << "\n";
+    std::exit(1);
+}
+
+std::string
+slurp(const char *path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fail(std::string("cannot open ") + path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+const JsonValue &
+need(const JsonValue &obj, const std::string &key,
+     const std::string &where)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v)
+        fail(where + " is missing \"" + key + "\"");
+    return *v;
+}
+
+void
+checkHistogram(const std::string &name, const JsonValue &h)
+{
+    const auto &bounds = need(h, "bounds", name).array();
+    const auto &counts = need(h, "counts", name).array();
+    if (bounds.empty())
+        fail(name + ": empty bounds");
+    if (counts.size() + 1 != bounds.size())
+        fail(name + ": counts/bounds size mismatch");
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+        if (bounds[i].asU64() <= bounds[i - 1].asU64())
+            fail(name + ": bounds not strictly ascending");
+    }
+    std::uint64_t total = need(h, "underflow", name).asU64() +
+                          need(h, "overflow", name).asU64();
+    for (const JsonValue &c : counts)
+        total += c.asU64();
+    if (total != need(h, "count", name).asU64())
+        fail(name + ": bucket totals do not sum to count");
+}
+
+void
+checkMetrics(const std::string &text)
+{
+    const auto doc = prefsim::parseJson(text);
+    if (!doc)
+        fail("metrics file is not strict JSON");
+    if (need(*doc, "schema", "document").asString() !=
+        "prefsim-telemetry-v1") {
+        fail("unexpected schema");
+    }
+    const JsonValue &sweep = need(*doc, "sweep", "document");
+    for (const char *key :
+         {"traces_generated", "annotations_run", "simulations_run",
+          "cache_hits", "cache_stores", "cache_rejected", "trace_nanos",
+          "annotate_nanos", "simulate_nanos"}) {
+        need(sweep, key, "sweep");
+    }
+    if (const JsonValue *metrics = doc->find("metrics")) {
+        const JsonValue &hists = need(*metrics, "histograms", "metrics");
+        for (const auto &[name, h] : hists.members())
+            checkHistogram(name, h);
+    }
+    if (const JsonValue *tracing = doc->find("tracing")) {
+        need(*tracing, "enabled", "tracing");
+        need(*tracing, "compiled_in", "tracing");
+        need(*tracing, "sessions", "tracing");
+        need(*tracing, "events", "tracing");
+    }
+}
+
+void
+checkTrace(const std::string &text)
+{
+    const auto doc = prefsim::parseJson(text);
+    if (!doc)
+        fail("trace file is not strict JSON");
+    const JsonValue &events = need(*doc, "traceEvents", "document");
+    if (!events.isArray())
+        fail("traceEvents is not an array");
+
+    std::map<std::uint64_t, std::uint64_t> last_ts;
+    std::map<std::pair<std::uint64_t, std::uint64_t>,
+             std::vector<std::string>>
+        open_spans;
+    std::map<std::tuple<std::string, std::uint64_t, std::string>,
+             long>
+        open_async;
+    std::size_t emitted = 0;
+
+    for (const JsonValue &ev : events.array()) {
+        const std::string ph = need(ev, "ph", "event").asString();
+        const std::uint64_t pid = need(ev, "pid", "event").asU64();
+        if (ph == "M")
+            continue;
+        ++emitted;
+        const std::uint64_t ts = need(ev, "ts", "event").asU64();
+        const std::uint64_t tid = need(ev, "tid", "event").asU64();
+        const auto it = last_ts.find(pid);
+        if (it != last_ts.end() && ts < it->second)
+            fail("timestamps regress within one pid");
+        last_ts[pid] = ts;
+
+        const std::string &name = need(ev, "name", "event").asString();
+        if (ph == "B") {
+            open_spans[{pid, tid}].push_back(name);
+        } else if (ph == "E") {
+            auto &stack = open_spans[{pid, tid}];
+            if (stack.empty())
+                fail("E without matching B (" + name + ")");
+            if (stack.back() != name)
+                fail("spans cross instead of nesting (" + name + ")");
+            stack.pop_back();
+        } else if (ph == "b" || ph == "e") {
+            const auto key = std::make_tuple(
+                need(ev, "cat", "event").asString(),
+                need(ev, "id", "event").asU64(),
+                need(ev, "scope", "event").asString());
+            long &open = open_async[key];
+            open += ph == "b" ? 1 : -1;
+            if (open < 0)
+                fail("async e before its b (" + name + ")");
+        } else if (ph != "i") {
+            fail("unexpected event phase \"" + ph + "\"");
+        }
+    }
+    for (const auto &[key, stack] : open_spans) {
+        if (!stack.empty())
+            fail("unclosed span \"" + stack.back() + "\"");
+    }
+    for (const auto &[key, open] : open_async) {
+        if (open != 0)
+            fail("unclosed async span id " +
+                 std::to_string(std::get<1>(key)));
+    }
+    std::cout << "trace ok: " << emitted << " events\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || argc > 3) {
+        std::cerr << "usage: validate_telemetry METRICS.json "
+                     "[TRACE.json]\n";
+        return 2;
+    }
+    checkMetrics(slurp(argv[1]));
+    std::cout << "metrics ok: " << argv[1] << "\n";
+    if (argc == 3)
+        checkTrace(slurp(argv[2]));
+    return 0;
+}
