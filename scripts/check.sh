@@ -1,18 +1,47 @@
 #!/bin/sh
-# Full verification pass: configure, build and test two configurations
-# (plain, then ThreadSanitizer for the sweep engine's worker pool), then
-# smoke every reproduction binary at reduced size — serial, parallel,
-# and through the on-disk result cache.
+# Full verification pass over every supported configuration:
+#
+#   1. plain build + tests + bench/example smoke + determinism +
+#      telemetry validation;
+#   2. the verification layer: exhaustive protocol model checking
+#      (2- and 3-cache), seeded-mutation detection, and the trace
+#      linter over all five workload generators;
+#   3. clang-tidy over the static-analysis profile in .clang-tidy
+#      (skipped loudly when clang-tidy is not installed);
+#   4. ThreadSanitizer for the sweep engine's worker pool;
+#   5. AddressSanitizer+UBSan with the PREFSIM_VERIFY runtime invariant
+#      hooks compiled in, running the full test suite;
+#   6. the event-tracing build + Chrome trace validation.
+#
+# Each stage prints its wall-clock budget when it completes.
 # Usage: scripts/check.sh [builddir]
 set -e
 BUILD=${1:-build}
 JOBS=$(nproc)
 
+STAGE_NAME=
+STAGE_START=0
+stage() {
+    now=$(date +%s)
+    if [ -n "$STAGE_NAME" ]; then
+        echo "== stage done: $STAGE_NAME [$((now - STAGE_START))s]"
+    fi
+    STAGE_NAME=$1
+    STAGE_START=$now
+    if [ -n "$1" ]; then
+        echo "== stage: $1"
+    fi
+}
+
 # --- configuration 1: plain -------------------------------------------
-cmake -B "$BUILD"
+stage "plain build"
+cmake -B "$BUILD" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build "$BUILD" -j "$JOBS"
+
+stage "plain tests"
 ctest --test-dir "$BUILD" -j "$JOBS" --output-on-failure
 
+stage "bench + example smoke"
 CACHE=$(mktemp -d)
 trap 'rm -rf "$CACHE"' EXIT
 for b in "$BUILD"/bench/bench_*; do
@@ -29,7 +58,8 @@ for e in quickstart false_sharing_clinic bus_saturation_study; do
     "$BUILD"/examples/$e --jobs "$JOBS" > /dev/null && echo "ok: $e"
 done
 
-# Parallel determinism: --jobs N must emit the same bytes as serial.
+stage "parallel determinism"
+# --jobs N must emit the same bytes as serial.
 "$BUILD"/bench/bench_fig2_exec_time --refs 20000 --procs 8 --csv \
     --quiet > "$CACHE/serial.csv"
 "$BUILD"/bench/bench_fig2_exec_time --refs 20000 --procs 8 --csv \
@@ -37,13 +67,49 @@ done
 cmp "$CACHE/serial.csv" "$CACHE/parallel.csv"
 echo "ok: parallel output identical to serial"
 
-# Telemetry: --metrics-out emits strict JSON in the default build too.
+stage "telemetry validation"
+# --metrics-out emits strict JSON in the default build too; the
+# validator must agree with the lint/verify tools on exit codes and
+# emit the shared findings schema under --json.
 "$BUILD"/bench/bench_fig2_exec_time --refs 20000 --procs 8 --quiet \
     --jobs "$JOBS" --metrics-out "$CACHE/metrics.json" > /dev/null
 "$BUILD"/tools/validate_telemetry "$CACHE/metrics.json"
+"$BUILD"/tools/validate_telemetry --json "$CACHE/metrics.json" \
+    | grep -q '"schema":"prefsim-findings-v1"'
 echo "ok: telemetry JSON validates (default build)"
 
+# --- the verification layer -------------------------------------------
+stage "protocol model check (2 caches)"
+"$BUILD"/tools/prefsim_verify --caches 2
+stage "protocol model check (3 caches, exhaustive)"
+"$BUILD"/tools/prefsim_verify --caches 3
+stage "protocol mutation detection"
+# A seeded protocol bug must be *caught* (exit 1 with a counterexample).
+if "$BUILD"/tools/prefsim_verify --caches 2 --mutation skip-invalidate \
+    > "$CACHE/mutation.out" 2>&1; then
+    echo "FAIL: seeded mutation was not detected" >&2
+    exit 1
+fi
+grep -q "counterexample" "$CACHE/mutation.out"
+echo "ok: seeded mutation detected with counterexample"
+
+stage "trace lint (five generators)"
+"$BUILD"/tools/prefsim_lint --gen all
+"$BUILD"/tools/prefsim_lint --json --gen all --refs 5000 \
+    | grep -q '"ok":true'
+echo "ok: all generators lint clean"
+
+stage "clang-tidy"
+if command -v clang-tidy > /dev/null 2>&1; then
+    find src tools -name '*.cc' -print \
+        | xargs clang-tidy -p "$BUILD" --quiet
+    echo "ok: clang-tidy"
+else
+    echo "skip: clang-tidy not installed"
+fi
+
 # --- configuration 2: ThreadSanitizer ---------------------------------
+stage "tsan build + sweep tests"
 TSAN_BUILD="$BUILD-tsan"
 cmake -B "$TSAN_BUILD" -DPREFSIM_SANITIZE=thread -DPREFSIM_BUILD_BENCH=OFF \
     -DPREFSIM_BUILD_EXAMPLES=OFF
@@ -52,7 +118,17 @@ cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_sweep --target test_obs
 "$TSAN_BUILD"/tests/test_obs
 echo "ok: test_sweep + test_obs clean under ThreadSanitizer"
 
-# --- configuration 3: event tracing compiled in -----------------------
+# --- configuration 3: ASan+UBSan with runtime invariant hooks ---------
+stage "asan+ubsan+verify-hooks build + tests"
+ASAN_BUILD="$BUILD-asan"
+cmake -B "$ASAN_BUILD" -DPREFSIM_SANITIZE=address -DPREFSIM_VERIFY=ON \
+    -DPREFSIM_BUILD_BENCH=OFF -DPREFSIM_BUILD_EXAMPLES=OFF
+cmake --build "$ASAN_BUILD" -j "$JOBS"
+ctest --test-dir "$ASAN_BUILD" -j "$JOBS" --output-on-failure
+echo "ok: full suite clean under ASan+UBSan with PREFSIM_VERIFY=ON"
+
+# --- configuration 4: event tracing compiled in -----------------------
+stage "tracing build + tests"
 TRACE_BUILD="$BUILD-tracing"
 cmake -B "$TRACE_BUILD" -DPREFSIM_TRACING=ON
 cmake --build "$TRACE_BUILD" -j "$JOBS"
@@ -64,4 +140,5 @@ ctest --test-dir "$TRACE_BUILD" -j "$JOBS" --output-on-failure
     "$TRACE_BUILD/trace.json"
 echo "ok: tracing build emits valid telemetry + Chrome trace JSON"
 
+stage ""
 echo "all checks passed"

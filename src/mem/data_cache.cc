@@ -327,6 +327,12 @@ DataCache::findParked(Addr addr)
     return nullptr;
 }
 
+const CacheFrame *
+DataCache::findParked(Addr addr) const
+{
+    return const_cast<DataCache *>(this)->findParked(addr);
+}
+
 CacheFrame *
 DataCache::promoteParked(Addr addr, EvictedLine &evicted)
 {

@@ -191,6 +191,7 @@ class DataCache
 
     /** The buffered entry for @p addr, or nullptr. */
     CacheFrame *findParked(Addr addr);
+    const CacheFrame *findParked(Addr addr) const;
 
     /**
      * Promote a parked line into the cache proper.

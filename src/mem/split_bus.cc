@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "verify/runtime.hh"
 
 namespace prefsim
 {
@@ -134,9 +135,10 @@ SplitBus::pickNext(Cycle now)
     return best;
 }
 
-void
+unsigned
 SplitBus::tick(Cycle now)
 {
+    unsigned completed = 0;
     // Complete address-class operations whose fixed latency elapsed.
     for (std::size_t i = 0; i < addr_ops_.size();) {
         if (now >= addr_ops_[i].readyAt) {
@@ -149,6 +151,7 @@ SplitBus::tick(Cycle now)
                                     done.lineBase, done.requester));
             addr_ops_.erase(addr_ops_.begin() +
                             static_cast<std::ptrdiff_t>(i));
+            ++completed;
             if (completion_)
                 completion_(done, now);
         } else {
@@ -167,6 +170,7 @@ SplitBus::tick(Cycle now)
                                     done.lineBase, done.requester));
             active_.erase(active_.begin() +
                           static_cast<std::ptrdiff_t>(i));
+            ++completed;
             if (completion_)
                 completion_(done, now);
         } else {
@@ -222,12 +226,64 @@ SplitBus::tick(Cycle now)
                    std::max(1u, num_procs_);
         active_.push_back(a);
     }
+    PREFSIM_VERIFY_BUS(*this);
+    return completed;
 }
 
 bool
 SplitBus::busy() const
 {
     return !active_.empty() || !waiting_.empty() || !addr_ops_.empty();
+}
+
+std::vector<Transaction>
+SplitBus::pendingTransactions() const
+{
+    std::vector<Transaction> out;
+    out.reserve(active_.size() + waiting_.size() + addr_ops_.size());
+    for (const Active &a : active_)
+        out.push_back(a.pending.txn);
+    for (const Pending &p : waiting_)
+        out.push_back(p.txn);
+    for (const Pending &p : addr_ops_)
+        out.push_back(p.txn);
+    return out;
+}
+
+bool
+SplitBus::checkInvariants(std::string *why) const
+{
+    auto violate = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    if (active_.size() > timing_.dataChannels)
+        return violate("bus.structure: more transfers in flight than data channels");
+    std::vector<std::uint64_t> ids;
+    ids.reserve(active_.size() + waiting_.size() + addr_ops_.size());
+    for (const Active &a : active_)
+        ids.push_back(a.pending.id);
+    for (const Pending &p : waiting_)
+        ids.push_back(p.id);
+    for (const Pending &p : addr_ops_)
+        ids.push_back(p.id);
+    std::sort(ids.begin(), ids.end());
+    if (std::adjacent_find(ids.begin(), ids.end()) != ids.end())
+        return violate("bus.structure: duplicated bus transaction id");
+    for (std::uint64_t id : ids) {
+        if (id >= next_id_)
+            return violate("bus.structure: transaction id from the future");
+    }
+    for (const Pending &p : addr_ops_) {
+        if (!BusTiming::isAddressClass(p.txn.kind))
+            return violate("bus.structure: data-carrying op queued on the address bus");
+    }
+    for (const Pending &p : waiting_) {
+        if (BusTiming::isAddressClass(p.txn.kind))
+            return violate("bus.structure: address-class op queued for the data bus");
+    }
+    return true;
 }
 
 } // namespace prefsim

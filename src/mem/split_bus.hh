@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -147,11 +148,33 @@ class SplitBus
      */
     void promoteToDemand(std::uint64_t id);
 
-    /** Advance to cycle @p now: grant the data bus, fire completions. */
-    void tick(Cycle now);
+    /**
+     * Advance to cycle @p now: grant the data bus, fire completions.
+     * @return the number of completions fired this cycle (the verify
+     *         layer steps the machine completion-by-completion).
+     */
+    unsigned tick(Cycle now);
 
     /** True if any transaction is pending or in transfer. */
     bool busy() const;
+
+    /**
+     * Snapshot of every transaction currently owned by the bus, in a
+     * deterministic order (in transfer, then data-queue, then address
+     * ops). Verification introspection: the model checker encodes this
+     * into its state and the invariant suite cross-checks it against
+     * the caches' MSHRs (no lost or duplicated transactions).
+     */
+    std::vector<Transaction> pendingTransactions() const;
+
+    /**
+     * Structural bus invariants: transfer count within dataChannels,
+     * unique transaction ids, no granted-but-unready operation. Shared
+     * by the verify library and the PREFSIM_VERIFY runtime hooks.
+     * @return true when everything holds; otherwise false with an
+     *         explanation in @p why (when non-null).
+     */
+    bool checkInvariants(std::string *why = nullptr) const;
 
     const BusStats &stats() const { return stats_; }
     const BusTiming &timing() const { return timing_; }

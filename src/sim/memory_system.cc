@@ -1,6 +1,9 @@
 #include "sim/memory_system.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
+#include "verify/runtime.hh"
 
 namespace prefsim
 {
@@ -76,6 +79,16 @@ MemorySystem::probeOthers(ProcId requester, Addr line_base) const
             s.anyCopy = true;
             break;
         }
+        // The real buffer is non-snooping, but the neutralisation model
+        // keeps parked copies downgradable — so the requester's state
+        // choice must count them, or it takes Exclusive beside a parked
+        // copy that a later promotion silently makes resident.
+        if (const CacheFrame *parked = c.findParked(line_base)) {
+            if (isValid(parked->state)) {
+                s.anyCopy = true;
+                break;
+            }
+        }
         const Mshr *m = c.findMshr(line_base);
         if (m && !m->arriveInvalid) {
             s.anyCopy = true;
@@ -89,6 +102,8 @@ void
 MemorySystem::downgradeOthers(ProcId requester, Addr line_base, Cycle now)
 {
     (void)now; // Only read by tracing emission sites.
+    if (mutation_ == ProtocolMutation::SkipDowngrade)
+        return; // Seeded bug (verification only): remote reads ignored.
     for (ProcId p = 0; p < caches_.size(); ++p) {
         if (p == requester)
             continue;
@@ -117,7 +132,8 @@ MemorySystem::downgradeOthers(ProcId requester, Addr line_base, Cycle now)
         }
         Mshr *m = c.findMshr(line_base);
         if (m && !m->arriveInvalid &&
-            m->targetState != LineState::Shared) {
+            m->targetState != LineState::Shared &&
+            mutation_ != ProtocolMutation::KeepStaleMshrTarget) {
             // An in-flight private fill loses exclusivity; a fill headed
             // for Modified retries its write through the upgrade path.
             m->targetState = LineState::Shared;
@@ -130,6 +146,8 @@ MemorySystem::invalidateOthers(ProcId requester, Addr line_base,
                                std::uint32_t word, Cycle now)
 {
     (void)now; // Only read by tracing emission sites.
+    if (mutation_ == ProtocolMutation::SkipInvalidate)
+        return; // Seeded bug (verification only): remote copies survive.
     for (ProcId p = 0; p < caches_.size(); ++p) {
         if (p == requester)
             continue;
@@ -313,6 +331,7 @@ MemorySystem::demandAccess(ProcId proc, Addr addr, bool is_write, Cycle now)
     m.demandWaiting = true;
     m.demandWord = word;
     m.busId = bus_.request(t, now);
+    PREFSIM_VERIFY_MEM_LINE(*this, base);
     return AccessResult::MissWait;
 }
 
@@ -368,6 +387,7 @@ MemorySystem::prefetchAccess(ProcId proc, Addr addr, bool exclusive,
     }
     Mshr &m = c.allocateMshr(base, target, /*is_prefetch=*/true);
     m.busId = bus_.request(t, now);
+    PREFSIM_VERIFY_MEM_LINE(*this, base);
     ++stats_[proc].prefetchMisses;
     PREFSIM_TRACE(obs_.trace,
                   instant(proc,
@@ -432,6 +452,7 @@ MemorySystem::onBusComplete(const Transaction &txn, Cycle now)
             f->state = probeOthers(txn.requester, txn.lineBase).anyCopy
                            ? LineState::Shared
                            : LineState::Modified;
+            PREFSIM_VERIFY_MEM_LINE(*this, txn.lineBase);
             if (wake_)
                 wake_(txn.requester, /*retry=*/false);
             return;
@@ -496,6 +517,7 @@ MemorySystem::onBusComplete(const Transaction &txn, Cycle now)
             wb.issuedAt = now;
             bus_.request(wb, now);
         }
+        PREFSIM_VERIFY_MEM_LINE(*this, txn.lineBase);
         if (m.demandWaiting && wake_) {
             // A demand fill satisfies its blocked access even when the
             // line arrives dead: the fill's address phase ordered the
@@ -530,6 +552,119 @@ MemorySystem::checkLineInvariant(Addr addr) const
         return false;
     if (exclusive == 1 && valid > 1)
         return false;
+    return true;
+}
+
+bool
+MemorySystem::checkLineInvariantDetail(Addr addr, std::string *why) const
+{
+    const Addr base = geom_.lineBase(addr);
+    auto violate = [&](std::string msg) {
+        if (why)
+            *why = std::move(msg);
+        return false;
+    };
+
+    // SWMR over resident copies (cache proper + victim buffer + parked
+    // prefetch-data-buffer lines: parked copies become resident by a
+    // silent promotion, so they must already obey SWMR).
+    unsigned valid = 0;
+    unsigned modified = 0;
+    unsigned privately_held = 0;
+    for (const auto &cp : caches_) {
+        LineState s = cp->stateAnywhere(base);
+        if (!isValid(s)) {
+            if (const CacheFrame *parked = cp->findParked(base))
+                s = parked->state;
+        }
+        if (isValid(s))
+            ++valid;
+        if (s == LineState::Modified)
+            ++modified;
+        if (isPrivate(s))
+            ++privately_held;
+    }
+    if (modified > 1)
+        return violate("coherence.swmr: " + std::to_string(modified) +
+                       " Modified copies of one line");
+    if (privately_held > 1)
+        return violate(
+            "coherence.swmr: multiple private (M/E) copies of one line");
+    if (privately_held == 1 && valid > 1)
+        return violate("coherence.swmr: a private (M/E) copy coexists "
+                       "with another valid copy");
+
+    // In-flight fills: at most one live private-target fill, and it
+    // excludes every resident copy and every other live fill; a cache
+    // never holds both a valid copy and an outstanding fill.
+    unsigned live_fills = 0;
+    unsigned live_private_fills = 0;
+    for (ProcId p = 0; p < caches_.size(); ++p) {
+        const Mshr *m = caches_[p]->findMshr(base);
+        if (!m)
+            continue;
+        if (isValid(caches_[p]->stateAnywhere(base)))
+            return violate("coherence.inflight_exclusivity: cache " +
+                           std::to_string(p) +
+                           " holds both a valid copy and an outstanding "
+                           "fill of one line");
+        if (!m->arriveInvalid) {
+            ++live_fills;
+            if (isPrivate(m->targetState))
+                ++live_private_fills;
+        }
+    }
+    if (live_private_fills > 1)
+        return violate("coherence.inflight_exclusivity: two live "
+                       "in-flight fills both target a private (M/E) "
+                       "state");
+    if (live_private_fills == 1 && (valid > 0 || live_fills > 1))
+        return violate("coherence.inflight_exclusivity: a live "
+                       "in-flight private fill coexists with a valid "
+                       "copy or another live fill");
+    if (live_fills > 0 && privately_held > 0)
+        return violate("coherence.inflight_exclusivity: a live "
+                       "in-flight fill coexists with a private (M/E) "
+                       "copy");
+
+    // MSHR <-> bus-transaction bijection: every outstanding fill MSHR
+    // has exactly one fill transaction on the bus and vice versa (no
+    // lost or duplicated transactions); pending upgrades match their
+    // address-bus operations the same way.
+    const std::vector<Transaction> pending = bus_.pendingTransactions();
+    for (ProcId p = 0; p < caches_.size(); ++p) {
+        unsigned fills = 0;
+        unsigned upgrades = 0;
+        for (const Transaction &t : pending) {
+            if (t.lineBase != base || t.requester != p)
+                continue;
+            if (transfersData(t.kind))
+                ++fills;
+            else if (t.kind == BusOpKind::Upgrade ||
+                     t.kind == BusOpKind::WriteUpdate)
+                ++upgrades;
+        }
+        const bool has_mshr = caches_[p]->findMshr(base) != nullptr;
+        if (has_mshr && fills != 1)
+            return violate("bus.mshr_bijection: cache " +
+                           std::to_string(p) + " MSHR has " +
+                           std::to_string(fills) +
+                           " bus fill transactions (want exactly 1)");
+        if (!has_mshr && fills != 0)
+            return violate("bus.mshr_bijection: bus fill transaction for "
+                           "cache " + std::to_string(p) +
+                           " without an MSHR");
+        const bool upgrade_pending = pending_upgrade_[p] == base;
+        if (upgrade_pending && upgrades != 1)
+            return violate("bus.upgrade_consistency: pending upgrade on "
+                           "cache " + std::to_string(p) + " has " +
+                           std::to_string(upgrades) +
+                           " bus operations (want exactly 1)");
+        if (!upgrade_pending && upgrades != 0)
+            return violate("bus.upgrade_consistency: bus upgrade for "
+                           "cache " + std::to_string(p) +
+                           " without a pending upgrade");
+    }
     return true;
 }
 

@@ -27,6 +27,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/cache_geometry.hh"
@@ -75,6 +76,22 @@ enum class CoherenceProtocol
 {
     WriteInvalidate, ///< Illinois/MESI: the paper's protocol.
     WriteUpdate,     ///< Firefly-style broadcast updates.
+};
+
+/**
+ * Deliberately seeded protocol bugs, used by the verification layer to
+ * prove the model checker actually catches violations (a checker that
+ * never fires is indistinguishable from one that checks nothing). The
+ * default None is the shipped protocol; the mutations exist only so
+ * tests and tools/prefsim_verify can demonstrate detection.
+ */
+enum class ProtocolMutation : std::uint8_t
+{
+    None,           ///< The shipped (correct) protocol.
+    SkipInvalidate, ///< Bus writes do not invalidate remote copies.
+    SkipDowngrade,  ///< Remote reads leave private (M/E) copies intact.
+    KeepStaleMshrTarget, ///< In-flight private fills keep exclusivity
+                         ///< when a remote read should downgrade them.
 };
 
 /** Outcome of a demand access. */
@@ -157,8 +174,11 @@ class MemorySystem
     PrefetchResult prefetchAccess(ProcId proc, Addr addr, bool exclusive,
                                   Cycle now);
 
-    /** Advance the bus one cycle (completions fire wake callbacks). */
-    void tick(Cycle now) { bus_.tick(now); }
+    /**
+     * Advance the bus one cycle (completions fire wake callbacks).
+     * @return the number of bus completions fired (verification).
+     */
+    unsigned tick(Cycle now) { return bus_.tick(now); }
 
     /** Zero the bus statistics (warmup exclusion). */
     void resetBusStats() { bus_.resetStats(); }
@@ -179,6 +199,32 @@ class MemorySystem
      *  valid copy elsewhere when one exists (testing support). Returns
      *  true when the invariant holds for @p addr's line. */
     bool checkLineInvariant(Addr addr) const;
+
+    /**
+     * The full single-line invariant suite shared by the verify library
+     * and the PREFSIM_VERIFY runtime hooks: SWMR (at most one Modified
+     * copy, no private copy coexisting with any other valid copy or
+     * live in-flight fill), at most one live exclusive intent counting
+     * in-flight private fills, MSHR/bus-transaction bijection (no lost
+     * or duplicated fills), and pending-upgrade/bus consistency.
+     * @return true when every predicate holds; otherwise false with the
+     *         first violated predicate described in @p why (non-null).
+     */
+    bool checkLineInvariantDetail(Addr addr,
+                                  std::string *why = nullptr) const;
+
+    /** Pending write-upgrade line of @p proc (kNoAddr when none). */
+    Addr pendingUpgrade(ProcId proc) const
+    {
+        return pending_upgrade_[proc];
+    }
+
+    /**
+     * Seed a deliberate protocol bug (verification only; see
+     * ProtocolMutation). Never set in simulation paths.
+     */
+    void setProtocolMutation(ProtocolMutation m) { mutation_ = m; }
+    ProtocolMutation protocolMutation() const { return mutation_; }
 
   private:
     /** Result of probing every other cache for a line. */
@@ -214,6 +260,7 @@ class MemorySystem
     /** Prefetch fills park in a non-snooping buffer when non-zero. */
     unsigned pdb_entries_ = 0;
     CoherenceProtocol protocol_ = CoherenceProtocol::WriteInvalidate;
+    ProtocolMutation mutation_ = ProtocolMutation::None;
     std::vector<std::unique_ptr<DataCache>> caches_;
     std::vector<ProcStats> &stats_;
     WakeFn wake_;

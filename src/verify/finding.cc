@@ -1,0 +1,90 @@
+#include "verify/finding.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/json.hh"
+
+namespace prefsim
+{
+namespace verify
+{
+
+const char *
+severityName(Severity s)
+{
+    return s == Severity::Error ? "error" : "warning";
+}
+
+Finding
+findingFromWhy(const std::string &why, const std::string &fallback_rule,
+               std::string location)
+{
+    Finding f;
+    f.severity = Severity::Error;
+    f.location = std::move(location);
+    // The invariant predicates tag their explanations "rule.id: text";
+    // a rule id is a dotted lowercase word, so a colon preceded only by
+    // [a-z_.] characters splits reliably.
+    const std::size_t colon = why.find(": ");
+    const bool tagged =
+        colon != std::string::npos && colon > 0 &&
+        std::all_of(why.begin(),
+                    why.begin() + static_cast<std::ptrdiff_t>(colon),
+                    [](char c) {
+                        return (c >= 'a' && c <= 'z') || c == '.' || c == '_';
+                    });
+    if (tagged) {
+        f.rule = why.substr(0, colon);
+        f.message = why.substr(colon + 2);
+    } else {
+        f.rule = fallback_rule;
+        f.message = why;
+    }
+    return f;
+}
+
+bool
+anyError(const std::vector<Finding> &findings)
+{
+    return std::any_of(findings.begin(), findings.end(),
+                       [](const Finding &f) {
+                           return f.severity == Severity::Error;
+                       });
+}
+
+int
+findingsExitCode(const std::vector<Finding> &findings)
+{
+    return anyError(findings) ? kExitViolations : kExitOk;
+}
+
+void
+writeFindingsText(std::ostream &os, const std::vector<Finding> &findings)
+{
+    for (const Finding &f : findings) {
+        os << severityName(f.severity) << " [" << f.rule << "] "
+           << f.message;
+        if (!f.location.empty())
+            os << " (" << f.location << ")";
+        os << "\n";
+    }
+}
+
+void
+writeFindingsJson(JsonWriter &j, const std::vector<Finding> &findings)
+{
+    j.key("findings").beginArray();
+    for (const Finding &f : findings) {
+        j.beginObject();
+        j.key("rule").value(f.rule);
+        j.key("severity").value(severityName(f.severity));
+        j.key("message").value(f.message);
+        j.key("location").value(f.location);
+        j.endObject();
+    }
+    j.endArray();
+}
+
+} // namespace verify
+} // namespace prefsim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The shared finding vocabulary of the verification subsystem.
+ *
+ * Every verifier in prefsim — the protocol model checker, the trace
+ * linter, the telemetry validator, and the PREFSIM_VERIFY runtime hooks
+ * — reports problems in one shape: a Finding naming the violated rule,
+ * a severity, a human diagnostic, and where it was observed. Tools
+ * render findings as text or as `prefsim-findings-v1` JSON (--json) and
+ * share one exit-code convention (kExitOk / kExitViolations /
+ * kExitUsage). The rule identifiers are catalogued in
+ * docs/verification.md.
+ */
+
+#ifndef PREFSIM_VERIFY_FINDING_HH
+#define PREFSIM_VERIFY_FINDING_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace prefsim
+{
+
+class JsonWriter;
+
+namespace verify
+{
+
+/** Tool exit-code convention (shared by every verification binary). */
+inline constexpr int kExitOk = 0;         ///< No violations.
+inline constexpr int kExitViolations = 1; ///< At least one error finding.
+inline constexpr int kExitUsage = 2;      ///< Usage or I/O problem.
+
+/** How bad one finding is. */
+enum class Severity
+{
+    Warning, ///< Suspicious but not a correctness violation.
+    Error,   ///< A violated invariant or lint rule.
+};
+
+/** Display name ("warning" / "error"). */
+const char *severityName(Severity s);
+
+/** One rule violation (or suspicion) reported by a verifier. */
+struct Finding
+{
+    /** Dotted rule identifier, e.g. "coherence.swmr", "lock.pairing". */
+    std::string rule;
+    Severity severity = Severity::Error;
+    /** Human diagnostic (one line). */
+    std::string message;
+    /** Where: "proc 2, record 17", "after step 5", a file path... */
+    std::string location;
+};
+
+/**
+ * Split an invariant-predicate explanation of the form "rule.id: text"
+ * (the `why` strings of MemorySystem::checkLineInvariantDetail and
+ * SplitBus::checkInvariants) into a Finding. A string without the
+ * prefix becomes a Finding under @p fallback_rule.
+ */
+Finding findingFromWhy(const std::string &why,
+                       const std::string &fallback_rule,
+                       std::string location = "");
+
+/** True if any finding is an Error. */
+bool anyError(const std::vector<Finding> &findings);
+
+/** kExitOk or kExitViolations depending on @p findings. */
+int findingsExitCode(const std::vector<Finding> &findings);
+
+/**
+ * Render findings as text lines "severity [rule] message (location)"
+ * to @p os, one per finding.
+ */
+void writeFindingsText(std::ostream &os,
+                       const std::vector<Finding> &findings);
+
+/**
+ * Emit `"findings": [...]` into an open JSON object. The caller owns
+ * the surrounding document (schema/tool/stat keys); this keeps every
+ * tool's findings array byte-identical in shape.
+ */
+void writeFindingsJson(JsonWriter &j,
+                       const std::vector<Finding> &findings);
+
+} // namespace verify
+} // namespace prefsim
+
+#endif // PREFSIM_VERIFY_FINDING_HH

@@ -1,0 +1,26 @@
+#include "verify/invariants.hh"
+
+#include "sim/memory_system.hh"
+
+namespace prefsim
+{
+namespace verify
+{
+
+std::vector<Finding>
+checkSystemInvariants(const MemorySystem &ms, const std::vector<Addr> &lines,
+                      const std::string &location)
+{
+    std::vector<Finding> out;
+    std::string why;
+    for (Addr line : lines) {
+        if (!ms.checkLineInvariantDetail(line, &why))
+            out.push_back(findingFromWhy(why, "coherence", location));
+    }
+    if (!ms.bus().checkInvariants(&why))
+        out.push_back(findingFromWhy(why, "bus.structure", location));
+    return out;
+}
+
+} // namespace verify
+} // namespace prefsim

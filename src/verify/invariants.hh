@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Invariant evaluation over a live memory system, reported as Findings.
+ *
+ * The predicates themselves live on the checked classes
+ * (MemorySystem::checkLineInvariantDetail, SplitBus::checkInvariants) so
+ * the PREFSIM_VERIFY runtime hooks can evaluate them without linking
+ * this library; this layer turns their "rule.id: text" explanations into
+ * the shared Finding vocabulary for the model checker, the tests and the
+ * tools.
+ */
+
+#ifndef PREFSIM_VERIFY_INVARIANTS_HH
+#define PREFSIM_VERIFY_INVARIANTS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "verify/finding.hh"
+
+namespace prefsim
+{
+
+class MemorySystem;
+
+namespace verify
+{
+
+/**
+ * Evaluate the full invariant suite on @p ms: the single-line coherence
+ * predicates for every line in @p lines, plus the structural bus
+ * predicates. @p location is attached to every finding (the model
+ * checker passes "after step N").
+ *
+ * Note the predicates stop at the first violation each, so at most one
+ * finding per line plus one for the bus is produced per call.
+ */
+std::vector<Finding> checkSystemInvariants(const MemorySystem &ms,
+                                           const std::vector<Addr> &lines,
+                                           const std::string &location = "");
+
+} // namespace verify
+} // namespace prefsim
+
+#endif // PREFSIM_VERIFY_INVARIANTS_HH

@@ -1,0 +1,447 @@
+#include "verify/model_checker.hh"
+
+#include <deque>
+#include <unordered_set>
+#include <utility>
+
+#include "common/cache_geometry.hh"
+#include "common/log.hh"
+#include "verify/invariants.hh"
+
+namespace prefsim
+{
+namespace verify
+{
+
+namespace
+{
+
+/** The checked line. Address 0 of a tiny direct-mapped cache. */
+constexpr Addr kLineA = 0;
+
+/** Tiny world: 4 direct-mapped frames of 32-byte lines per cache, so
+ *  the per-processor conflict line (evictAddr) maps onto line A's set
+ *  while the state space stays small. */
+constexpr std::uint32_t kCacheBytes = 128;
+constexpr std::uint32_t kLineBytes = 32;
+
+/** Per-processor conflicting line: same set as A, distinct tags, never
+ *  shared between processors. */
+constexpr Addr
+evictAddr(ProcId p)
+{
+    return static_cast<Addr>(kCacheBytes) * (p + 1);
+}
+
+/** Shortest timings the bus accepts: every Tick step replays in a
+ *  handful of cycles. The timing abstraction makes the checked state
+ *  space independent of the actual latencies (see file comment in
+ *  model_checker.hh). */
+BusTiming
+checkerTiming()
+{
+    BusTiming t;
+    t.totalLatency = 3;
+    t.dataTransfer = 2;
+    t.upgradeOccupancy = 1;
+    t.dataChannels = 1;
+    return t;
+}
+
+char
+stateChar(LineState s)
+{
+    switch (s) {
+      case LineState::Invalid:
+        return 'I';
+      case LineState::Shared:
+        return 'S';
+      case LineState::Exclusive:
+        return 'E';
+      case LineState::Modified:
+        return 'M';
+    }
+    return '?';
+}
+
+char
+kindChar(BusOpKind k)
+{
+    switch (k) {
+      case BusOpKind::ReadShared:
+        return 's';
+      case BusOpKind::ReadExclusive:
+        return 'x';
+      case BusOpKind::Upgrade:
+        return 'u';
+      case BusOpKind::WriteBack:
+        return 'w';
+      case BusOpKind::WriteUpdate:
+        return 'b';
+    }
+    return '?';
+}
+
+/**
+ * One concrete machine the checker steps: the real MemorySystem plus
+ * the minimal processor harness (blocked / pending-retry bookkeeping
+ * that Processor implements in the full simulator).
+ *
+ * Reconstructed by path replay — see the header on why states are not
+ * copied.
+ */
+class World
+{
+  public:
+    explicit World(const ModelCheckerConfig &cfg)
+        : cfg_(cfg), stats_(cfg.numCaches),
+          mem_(cfg.numCaches, CacheGeometry(kCacheBytes, kLineBytes, 1),
+               checkerTiming(), /*prefetch_buffer_depth=*/2, stats_,
+               /*victim_entries=*/0, /*prefetch_data_buffer_entries=*/0,
+               cfg.protocol),
+          blocked_(cfg.numCaches, false), pending_(cfg.numCaches)
+    {
+        mem_.setProtocolMutation(cfg.mutation);
+        mem_.setWake([this](ProcId p, bool retry) {
+            wakes_.push_back({p, retry});
+        });
+    }
+
+    /** Can @p step fire from this state? */
+    bool
+    applicable(const CheckStep &step) const
+    {
+        if (step.event == CheckEvent::Tick)
+            return mem_.busBusy();
+        return !blocked_[step.proc];
+    }
+
+    /** Apply @p step; progress violations land in @p out. */
+    void
+    apply(const CheckStep &step, std::vector<Finding> &out)
+    {
+        switch (step.event) {
+          case CheckEvent::Read:
+            demand(step.proc, kLineA, false);
+            break;
+          case CheckEvent::Write:
+            demand(step.proc, kLineA, true);
+            break;
+          case CheckEvent::PrefetchShared:
+            mem_.prefetchAccess(step.proc, kLineA, false, now_);
+            break;
+          case CheckEvent::PrefetchExcl:
+            mem_.prefetchAccess(step.proc, kLineA, true, now_);
+            break;
+          case CheckEvent::Evict:
+            demand(step.proc, evictAddr(step.proc), false);
+            break;
+          case CheckEvent::Tick:
+            tickUntilCompletion(out);
+            break;
+        }
+        // A blocked processor with an idle bus can never be woken again:
+        // its wake was lost (fills, upgrades and attached prefetches all
+        // occupy the bus until their completion fires the wake).
+        if (!mem_.busBusy()) {
+            for (ProcId p = 0; p < cfg_.numCaches; ++p) {
+                if (blocked_[p]) {
+                    Finding f;
+                    f.rule = "progress.deadlock";
+                    f.message = "processor " + std::to_string(p) +
+                                " is blocked but the bus is idle "
+                                "(lost wake)";
+                    out.push_back(std::move(f));
+                }
+            }
+        }
+    }
+
+    /** Replay helper: apply without reporting (the prefix was already
+     *  checked when it was first explored). */
+    void
+    replay(const CheckStep &step)
+    {
+        std::vector<Finding> sink;
+        apply(step, sink);
+    }
+
+    /** Invariant suite over every line this world can touch. */
+    std::vector<Finding>
+    checkInvariants(const std::string &location) const
+    {
+        std::vector<Addr> lines{kLineA};
+        for (ProcId p = 0; p < cfg_.numCaches; ++p)
+            lines.push_back(evictAddr(p));
+        return checkSystemInvariants(mem_, lines, location);
+    }
+
+    /**
+     * Canonical protocol-state encoding. Contains every protocol-relevant
+     * fact — per-cache line states, MSHR contents, pending upgrades, the
+     * harness's blocked/pending bookkeeping, and the ordered bus queues —
+     * and deliberately omits absolute cycles and transaction ids (the
+     * timing abstraction).
+     */
+    std::string
+    encode() const
+    {
+        std::string s;
+        for (ProcId p = 0; p < cfg_.numCaches; ++p) {
+            const DataCache &c = mem_.cache(p);
+            s += 'P';
+            s += stateChar(c.stateAnywhere(kLineA));
+            encodeMshr(s, c.findMshr(kLineA));
+            s += mem_.pendingUpgrade(p) == kLineA ? 'U' : '-';
+            s += stateChar(c.stateAnywhere(evictAddr(p)));
+            encodeMshr(s, c.findMshr(evictAddr(p)));
+            if (blocked_[p]) {
+                s += 'B';
+                s += pending_[p].addr == kLineA ? 'a' : 'e';
+                s += pending_[p].isWrite ? 'w' : 'r';
+            } else {
+                s += '-';
+            }
+        }
+        s += "|";
+        for (const Transaction &t : mem_.bus().pendingTransactions()) {
+            s += kindChar(t.kind);
+            s += t.requester == kNoProc
+                     ? '?'
+                     : static_cast<char>('0' + t.requester);
+            s += t.lineBase == kLineA ? 'a' : 'e';
+            s += t.isPrefetch ? 'p' : '-';
+            s += t.demandWaiting ? 'd' : '-';
+        }
+        return s;
+    }
+
+  private:
+    struct PendingOp
+    {
+        Addr addr = kNoAddr;
+        bool isWrite = false;
+    };
+
+    struct Wake
+    {
+        ProcId proc;
+        bool retry;
+    };
+
+    static void
+    encodeMshr(std::string &s, const Mshr *m)
+    {
+        if (!m) {
+            s += '-';
+            return;
+        }
+        s += 'm';
+        s += stateChar(m->targetState);
+        s += m->isPrefetch ? 'p' : '-';
+        s += m->demandWaiting ? 'd' : '-';
+        s += m->arriveInvalid ? 'k' : '-';
+    }
+
+    /** Execute a demand access; block the processor when it must wait. */
+    void
+    demand(ProcId p, Addr addr, bool is_write)
+    {
+        const AccessResult r = mem_.demandAccess(p, addr, is_write, now_);
+        if (r == AccessResult::Hit || r == AccessResult::VictimHit)
+            return;
+        blocked_[p] = true;
+        pending_[p] = {addr, is_write};
+    }
+
+    /** Advance cycle-by-cycle until the next bus completion (one
+     *  completion interleaving step), processing wakes as the full
+     *  simulator would: a retry wake re-executes the blocked access. */
+    void
+    tickUntilCompletion(std::vector<Finding> &out)
+    {
+        const Cycle limit = now_ + cfg_.maxDrainCycles;
+        while (mem_.busBusy()) {
+            ++now_;
+            const unsigned completions = mem_.tick(now_);
+            drainWakes();
+            if (completions)
+                return;
+            if (now_ >= limit) {
+                Finding f;
+                f.rule = "progress.livelock";
+                f.message =
+                    "the bus stayed busy for " +
+                    std::to_string(cfg_.maxDrainCycles) +
+                    " cycles without completing any transaction";
+                out.push_back(std::move(f));
+                return;
+            }
+        }
+    }
+
+    void
+    drainWakes()
+    {
+        while (!wakes_.empty()) {
+            const Wake w = wakes_.front();
+            wakes_.pop_front();
+            if (!blocked_[w.proc])
+                continue;
+            const PendingOp op = pending_[w.proc];
+            blocked_[w.proc] = false;
+            pending_[w.proc] = PendingOp{};
+            if (w.retry)
+                demand(w.proc, op.addr, op.isWrite);
+        }
+    }
+
+    const ModelCheckerConfig &cfg_;
+    Cycle now_ = 0;
+    std::vector<ProcStats> stats_;
+    MemorySystem mem_;
+    std::vector<bool> blocked_;
+    std::vector<PendingOp> pending_;
+    std::deque<Wake> wakes_;
+};
+
+} // namespace
+
+const char *
+checkEventName(CheckEvent e)
+{
+    switch (e) {
+      case CheckEvent::Read:
+        return "read";
+      case CheckEvent::Write:
+        return "write";
+      case CheckEvent::PrefetchShared:
+        return "prefetch";
+      case CheckEvent::PrefetchExcl:
+        return "prefetch-excl";
+      case CheckEvent::Evict:
+        return "evict";
+      case CheckEvent::Tick:
+        return "tick";
+    }
+    return "?";
+}
+
+std::string
+checkStepName(const CheckStep &step)
+{
+    if (step.event == CheckEvent::Tick)
+        return "tick";
+    std::string s = "P";
+    s += std::to_string(step.proc);
+    s += ' ';
+    s += checkEventName(step.event);
+    return s;
+}
+
+std::string
+checkPathName(const std::vector<CheckStep> &path)
+{
+    std::string s;
+    for (const CheckStep &step : path) {
+        if (!s.empty())
+            s += ", ";
+        s += checkStepName(step);
+    }
+    return s;
+}
+
+ModelCheckerReport
+checkProtocol(const ModelCheckerConfig &config)
+{
+    if (config.numCaches < 2 || config.numCaches > 4)
+        prefsim_fatal("the model checker supports 2..4 caches, not ",
+                      config.numCaches);
+
+    ModelCheckerReport rep;
+
+    // The event alphabet: every processor event on every cache, plus the
+    // global bus-completion step.
+    std::vector<CheckStep> alphabet;
+    for (ProcId p = 0; p < config.numCaches; ++p) {
+        for (CheckEvent e :
+             {CheckEvent::Read, CheckEvent::Write, CheckEvent::PrefetchShared,
+              CheckEvent::PrefetchExcl, CheckEvent::Evict})
+            alphabet.push_back({p, e});
+    }
+    alphabet.push_back({kNoProc, CheckEvent::Tick});
+
+    std::unordered_set<std::string> visited;
+    std::deque<std::vector<CheckStep>> frontier;
+
+    {
+        World init(config);
+        std::vector<Finding> findings = init.checkInvariants("initial state");
+        if (!findings.empty()) {
+            rep.findings = std::move(findings);
+            return rep;
+        }
+        visited.insert(init.encode());
+        frontier.push_back({});
+        rep.statesVisited = 1;
+    }
+
+    while (!frontier.empty()) {
+        const std::vector<CheckStep> path = std::move(frontier.front());
+        frontier.pop_front();
+
+        // One replay determines which events can fire from this state...
+        std::vector<CheckStep> applicable;
+        World probe(config);
+        for (const CheckStep &s : path)
+            probe.replay(s);
+        for (const CheckStep &step : alphabet) {
+            if (probe.applicable(step))
+                applicable.push_back(step);
+        }
+
+        // ... then each successor gets its own replayed world (the first
+        // one reuses the probe).
+        for (std::size_t i = 0; i < applicable.size(); ++i) {
+            const CheckStep &step = applicable[i];
+            World fresh(config);
+            World &w = i == 0 ? probe : fresh;
+            if (i != 0) {
+                for (const CheckStep &s : path)
+                    w.replay(s);
+            }
+
+            ++rep.transitionsExplored;
+            const std::string location =
+                "after step " + std::to_string(path.size() + 1) + " (" +
+                checkStepName(step) + ")";
+            std::vector<Finding> found;
+            w.apply(step, found);
+            for (Finding &f : found)
+                f.location = location;
+            std::vector<Finding> inv = w.checkInvariants(location);
+            found.insert(found.end(), inv.begin(), inv.end());
+            if (!found.empty()) {
+                rep.findings = std::move(found);
+                rep.counterexample = path;
+                rep.counterexample.push_back(step);
+                return rep;
+            }
+
+            if (visited.insert(w.encode()).second) {
+                ++rep.statesVisited;
+                if (rep.statesVisited >= config.maxStates)
+                    return rep; // exhausted stays false: truncated.
+                std::vector<CheckStep> next = path;
+                next.push_back(step);
+                frontier.push_back(std::move(next));
+            }
+        }
+    }
+
+    rep.exhausted = true;
+    return rep;
+}
+
+} // namespace verify
+} // namespace prefsim

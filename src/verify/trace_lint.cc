@@ -1,0 +1,314 @@
+#include "verify/trace_lint.hh"
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/trace.hh"
+
+namespace prefsim
+{
+namespace verify
+{
+
+namespace
+{
+
+/** Addresses at or above this never come out of the layout allocator;
+ *  anything bigger is a corrupt or uninitialised reference. */
+constexpr Addr kAddrLimit = Addr{1} << 48;
+
+constexpr std::uint32_t kNoSegment =
+    std::numeric_limits<std::uint32_t>::max();
+
+/**
+ * Finding collector that reports the first instance of each (rule,
+ * processor, flavour) and counts the rest, so a systematically corrupt
+ * trace produces a readable report instead of one finding per record.
+ */
+class Collector
+{
+  public:
+    void
+    report(const std::string &key, Finding f)
+    {
+        auto [it, fresh] = seen_.emplace(key, Entry{});
+        if (fresh) {
+            it->second.index = findings_.size();
+            findings_.push_back(std::move(f));
+        }
+        ++it->second.count;
+    }
+
+    std::vector<Finding>
+    take()
+    {
+        for (const auto &[key, e] : seen_) {
+            if (e.count > 1)
+                findings_[e.index].message +=
+                    " [" + std::to_string(e.count) + " occurrences]";
+        }
+        return std::move(findings_);
+    }
+
+  private:
+    struct Entry
+    {
+        std::size_t index = 0;
+        std::uint64_t count = 0;
+    };
+
+    std::vector<Finding> findings_;
+    std::unordered_map<std::string, Entry> seen_;
+};
+
+Finding
+make(const std::string &rule, Severity sev, std::string message,
+     std::string location)
+{
+    Finding f;
+    f.rule = rule;
+    f.severity = sev;
+    f.message = std::move(message);
+    f.location = std::move(location);
+    return f;
+}
+
+std::string
+at(std::size_t proc, std::size_t record)
+{
+    return "proc " + std::to_string(proc) + ", record " +
+           std::to_string(record);
+}
+
+/** A lock tenure spanning barrier arrivals: held from a point in
+ *  segment @c acqSeg until a point in segment @c relSeg (kNoSegment =
+ *  never released). Segments are counted in barrier arrivals. */
+struct LockSpan
+{
+    std::size_t proc;
+    SyncId lock;
+    std::uint32_t acqSeg;
+    std::uint32_t relSeg;
+};
+
+} // namespace
+
+TraceLintReport
+lintTrace(const ParallelTrace &trace)
+{
+    TraceLintReport rep;
+    Collector col;
+
+    if (trace.procs.empty()) {
+        col.report("structure",
+                   make("trace.structure", Severity::Error,
+                        "trace has no processors", trace.name));
+        rep.findings = col.take();
+        return rep;
+    }
+
+    // Cross-processor sync aggregates for the phase analysis.
+    std::vector<std::vector<SyncId>> barrier_seq(trace.numProcs());
+    std::vector<LockSpan> spans;
+    // Every acquire, as (segment, proc) per lock id.
+    std::map<SyncId, std::vector<std::pair<std::uint32_t, std::size_t>>>
+        acquires;
+
+    for (std::size_t p = 0; p < trace.numProcs(); ++p) {
+        const std::vector<TraceRecord> &recs = trace.procs[p].records();
+        const std::string proc_loc = "proc " + std::to_string(p);
+        if (recs.empty()) {
+            col.report("empty/" + proc_loc,
+                       make("trace.structure", Severity::Warning,
+                            "processor trace is empty", proc_loc));
+        }
+
+        // Held locks: lock id -> (segment, record index) of the acquire.
+        std::map<SyncId, std::pair<std::uint32_t, std::size_t>> held;
+        std::uint32_t segment = 0;
+
+        for (std::size_t i = 0; i < recs.size(); ++i) {
+            const TraceRecord &r = recs[i];
+            ++rep.stats.records;
+            const std::string pk = std::to_string(p) + "/";
+            switch (r.kind) {
+              case RecordKind::Instr:
+                if (r.count == 0) {
+                    col.report(pk + "instr.count",
+                               make("instr.count", Severity::Warning,
+                                    "empty instruction batch", at(p, i)));
+                }
+                break;
+              case RecordKind::Read:
+              case RecordKind::Write:
+              case RecordKind::Prefetch:
+              case RecordKind::PrefetchExcl:
+                if (isDemandRef(r.kind))
+                    ++rep.stats.demandRefs;
+                else
+                    ++rep.stats.prefetches;
+                if (r.addr == kNoAddr || r.addr >= kAddrLimit) {
+                    col.report(pk + "ref.bounds",
+                               make("ref.bounds", Severity::Error,
+                                    "reference address out of range",
+                                    at(p, i)));
+                } else if (r.addr % kWordBytes != 0) {
+                    col.report(pk + "ref.alignment",
+                               make("ref.alignment", Severity::Error,
+                                    "reference not word-aligned", at(p, i)));
+                }
+                break;
+              case RecordKind::LockAcquire:
+                ++rep.stats.syncOps;
+                if (r.sync >= trace.numLocks) {
+                    col.report(pk + "lock.range",
+                               make("lock.range", Severity::Error,
+                                    "lock id " + std::to_string(r.sync) +
+                                        " outside the declared " +
+                                        std::to_string(trace.numLocks) +
+                                        " locks",
+                                    at(p, i)));
+                    break;
+                }
+                if (held.count(r.sync)) {
+                    col.report(pk + "lock.pairing/reacquire",
+                               make("lock.pairing", Severity::Error,
+                                    "lock " + std::to_string(r.sync) +
+                                        " acquired while already held",
+                                    at(p, i)));
+                    break;
+                }
+                held[r.sync] = {segment, i};
+                acquires[r.sync].push_back({segment, p});
+                break;
+              case RecordKind::LockRelease:
+                ++rep.stats.syncOps;
+                if (r.sync >= trace.numLocks) {
+                    col.report(pk + "lock.range",
+                               make("lock.range", Severity::Error,
+                                    "lock id " + std::to_string(r.sync) +
+                                        " outside the declared " +
+                                        std::to_string(trace.numLocks) +
+                                        " locks",
+                                    at(p, i)));
+                    break;
+                }
+                if (!held.count(r.sync)) {
+                    col.report(pk + "lock.pairing/release",
+                               make("lock.pairing", Severity::Error,
+                                    "lock " + std::to_string(r.sync) +
+                                        " released without being held",
+                                    at(p, i)));
+                    break;
+                }
+                if (held[r.sync].first != segment)
+                    spans.push_back(
+                        {p, r.sync, held[r.sync].first, segment});
+                held.erase(r.sync);
+                break;
+              case RecordKind::Barrier:
+                ++rep.stats.syncOps;
+                if (r.sync >= trace.numBarriers) {
+                    col.report(pk + "barrier.range",
+                               make("barrier.range", Severity::Error,
+                                    "barrier id " + std::to_string(r.sync) +
+                                        " outside the declared " +
+                                        std::to_string(trace.numBarriers) +
+                                        " barriers",
+                                    at(p, i)));
+                }
+                barrier_seq[p].push_back(r.sync);
+                ++segment;
+                break;
+            }
+        }
+
+        for (const auto &[lock, acq] : held) {
+            col.report(std::to_string(p) + "/lock.pairing/end" +
+                           std::to_string(lock),
+                       make("lock.pairing", Severity::Error,
+                            "lock " + std::to_string(lock) +
+                                " still held at end of trace (acquired at "
+                                "record " +
+                                std::to_string(acq.second) + ")",
+                            proc_loc));
+            if (acq.first != segment)
+                spans.push_back({p, lock, acq.first, kNoSegment});
+        }
+    }
+
+    // Barrier episode consistency: every processor must arrive at the
+    // same sequence of barrier ids (this subsumes arrival-count
+    // mismatches, which would hang the simulated machine).
+    for (std::size_t p = 1; p < trace.numProcs(); ++p) {
+        const auto &ref = barrier_seq[0];
+        const auto &got = barrier_seq[p];
+        std::string msg;
+        if (got.size() != ref.size()) {
+            msg = "processor arrives at " + std::to_string(got.size()) +
+                  " barriers where proc 0 arrives at " +
+                  std::to_string(ref.size());
+        } else {
+            for (std::size_t k = 0; k < ref.size(); ++k) {
+                if (got[k] != ref[k]) {
+                    msg = "barrier episode " + std::to_string(k) +
+                          " is barrier " + std::to_string(got[k]) +
+                          " here but barrier " + std::to_string(ref[k]) +
+                          " on proc 0";
+                    break;
+                }
+            }
+        }
+        if (!msg.empty()) {
+            col.report(std::to_string(p) + "/barrier.order",
+                       make("barrier.order", Severity::Error, msg,
+                            "proc " + std::to_string(p)));
+        }
+    }
+
+    // Lock-vs-barrier phase analysis. A span [acqSeg, relSeg) of
+    // processor p covers barrier arrivals acqSeg..relSeg-1 while holding
+    // the lock — suspicious on its own (warning). It is a *guaranteed*
+    // deadlock when another processor acquires the same lock in a
+    // segment s with acqSeg < s < relSeg: barriers align the segments
+    // (checked above), so q's acquire provably starts after p took the
+    // lock and before p's release becomes reachable — q spins forever,
+    // never arrives at barrier s, and p never gets past it.
+    for (const LockSpan &span : spans) {
+        col.report(std::to_string(span.proc) + "/barrier.lock_held/" +
+                       std::to_string(span.lock),
+                   make("barrier.lock_held", Severity::Warning,
+                        "lock " + std::to_string(span.lock) +
+                            " held across a barrier arrival",
+                        "proc " + std::to_string(span.proc)));
+        const auto it = acquires.find(span.lock);
+        if (it == acquires.end())
+            continue;
+        for (const auto &[seg, q] : it->second) {
+            if (q == span.proc || seg <= span.acqSeg || seg >= span.relSeg)
+                continue;
+            col.report("deadlock/" + std::to_string(span.lock),
+                       make("barrier.deadlock", Severity::Error,
+                            "guaranteed deadlock: proc " +
+                                std::to_string(span.proc) + " holds lock " +
+                                std::to_string(span.lock) +
+                                " across barrier episode " +
+                                std::to_string(seg) + " while proc " +
+                                std::to_string(q) +
+                                " acquires it inside that episode",
+                            "proc " + std::to_string(q)));
+            break;
+        }
+    }
+
+    rep.findings = col.take();
+    return rep;
+}
+
+} // namespace verify
+} // namespace prefsim

@@ -20,10 +20,12 @@ namespace
 
 struct MemHarness
 {
-    explicit MemHarness(unsigned procs = 4, Cycle transfer = 8)
+    explicit MemHarness(unsigned procs = 4, Cycle transfer = 8,
+                        unsigned pdb_entries = 0)
         : stats(procs),
           mem(procs, CacheGeometry::paperDefault(),
-              BusTiming{100, transfer, 2}, 16, stats)
+              BusTiming{100, transfer, 2}, 16, stats,
+              /*victim_entries=*/0, pdb_entries)
     {
         mem.setWake([this](ProcId p, bool retry) {
             wakes.push_back({p, retry});
@@ -396,6 +398,31 @@ TEST(Races, UpgradeLosesLineWhileQueued)
     }
     EXPECT_TRUE(proc0_retry);
     EXPECT_TRUE(h.mem.checkLineInvariant(0x1000));
+}
+
+TEST(Races, ParkedPrefetchedLineKeepsRemoteFillShared)
+{
+    // Buffer-target mode (8-entry prefetch data buffer). Proc 0's
+    // prefetch parks the line Exclusive beside the cache; a later
+    // remote read must see the parked copy in its snoop and install
+    // Shared — otherwise the silent promotion of the (downgraded)
+    // parked line would put Shared beside an Exclusive copy. The
+    // PREFSIM_VERIFY hooks caught exactly this.
+    MemHarness h(/*procs=*/2, /*transfer=*/8, /*pdb_entries=*/8);
+    EXPECT_EQ(h.mem.prefetchAccess(0, 0x1000, false, h.cycle),
+              PrefetchResult::Issued);
+    h.drain();
+    EXPECT_EQ(h.stateOf(0, 0x1000), LineState::Invalid); // Parked only.
+
+    h.mem.demandAccess(1, 0x1000, false, h.cycle);
+    h.drain();
+    EXPECT_EQ(h.stateOf(1, 0x1000), LineState::Shared);
+
+    // Proc 0's demand access promotes the parked (now Shared) line.
+    h.mem.demandAccess(0, 0x1000, false, h.cycle);
+    EXPECT_EQ(h.stateOf(0, 0x1000), LineState::Shared);
+    EXPECT_TRUE(h.mem.checkLineInvariant(0x1000));
+    EXPECT_EQ(h.stats[0].prefetchBufferHits, 1u);
 }
 
 TEST(Invariant, HoldsAcrossMixedTraffic)

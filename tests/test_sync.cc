@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/simulator.hh"
 #include "sim/sync.hh"
+#include "trace/trace.hh"
 
 namespace prefsim
 {
@@ -104,6 +106,55 @@ TEST(BarrierManagerDeathTest, IdMismatchPanics)
     BarrierManager b(3);
     b.arrive(7, 0);
     EXPECT_DEATH(b.arrive(8, 1), "mismatch");
+}
+
+TEST(LockTableDeathTest, ReleaseOfNeverHeldLockPanics)
+{
+    LockTable locks(2);
+    EXPECT_DEATH(locks.release(1, 0), "releasing lock");
+}
+
+TEST(LockTableDeathTest, ReleaseOutOfRangePanics)
+{
+    LockTable locks(1);
+    EXPECT_DEATH(locks.release(3, 0), "out of range");
+}
+
+TEST(BarrierManagerDeathTest, ArrivalFromBadProcPanics)
+{
+    BarrierManager b(2);
+    EXPECT_DEATH(b.arrive(0, 5), "bad proc");
+}
+
+TEST(BarrierManager, WaitingTracksOnlyArrivedProcs)
+{
+    BarrierManager b(3);
+    b.arrive(0, 1);
+    EXPECT_TRUE(b.waiting(1));
+    EXPECT_FALSE(b.waiting(0));
+    EXPECT_FALSE(b.waiting(2));
+    EXPECT_EQ(b.arrivedCount(), 1u);
+}
+
+TEST(SimulatorSyncDeathTest, ReleaseWithoutAcquireIsRejected)
+{
+    // The same malformation the trace linter reports statically
+    // (lock.pairing) is rejected deterministically at simulation time:
+    // the lock table panics rather than silently freeing someone
+    // else's lock.
+    ParallelTrace t;
+    t.name = "bad-release";
+    t.numLocks = 1;
+    t.procs.resize(2);
+    t.procs[0].append(TraceRecord::lockRelease(0));
+    t.procs[1].append(TraceRecord::instr(4));
+    SimConfig config;
+    EXPECT_DEATH(
+        {
+            Simulator sim(t, config);
+            sim.run();
+        },
+        "releasing lock");
 }
 
 } // namespace

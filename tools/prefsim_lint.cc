@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Command-line front end of the trace linter.
+ *
+ *   prefsim_lint [--json] FILE...
+ *   prefsim_lint [--json] --gen all|NAME [--procs N] [--refs N]
+ *                [--seed S]
+ *
+ * The first form lints trace files (text v1 or binary v2, sniffed);
+ * the second generates workloads in-process and lints them — check.sh
+ * runs `--gen all` so every generator's output is validated on every
+ * push. Rules are catalogued in docs/verification.md.
+ *
+ * Exit codes: 0 no violations (warnings allowed), 1 violations,
+ * 2 usage or I/O error — the convention shared by prefsim_verify and
+ * validate_telemetry.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "trace/trace.hh"
+#include "trace/trace_io_binary.hh"
+#include "trace/workload.hh"
+#include "verify/trace_lint.hh"
+
+namespace
+{
+
+using namespace prefsim;
+using namespace prefsim::verify;
+
+[[noreturn]] void
+usage(const std::string &complaint = "")
+{
+    if (!complaint.empty())
+        std::cerr << "prefsim_lint: " << complaint << "\n";
+    std::cerr
+        << "usage: prefsim_lint [--json] FILE...\n"
+           "       prefsim_lint [--json] --gen all|topopt|pverify|"
+           "locusroute|mp3d|water\n"
+           "                    [--procs N] [--refs N] [--seed S]\n";
+    std::exit(kExitUsage);
+}
+
+std::uint64_t
+parseCount(const char *text, const char *what)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (!end || *end || end == text)
+        usage(std::string("bad ") + what + " \"" + text + "\"");
+    return v;
+}
+
+/** One linted trace with its provenance. */
+struct Target
+{
+    std::string name;
+    TraceLintReport report;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    std::string gen;
+    WorkloadParams params;
+    params.refsPerProc = 20000;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(arg + " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--json")
+            json = true;
+        else if (arg == "--gen")
+            gen = next();
+        else if (arg == "--procs")
+            params.numProcs =
+                static_cast<unsigned>(parseCount(next(), "proc count"));
+        else if (arg == "--refs")
+            params.refsPerProc = parseCount(next(), "refs per proc");
+        else if (arg == "--seed")
+            params.seed = parseCount(next(), "seed");
+        else if (!arg.empty() && arg[0] == '-')
+            usage("unknown argument \"" + arg + "\"");
+        else
+            files.push_back(arg);
+    }
+    if (gen.empty() == files.empty())
+        usage("lint either files or generated workloads (--gen)");
+
+    std::vector<Target> targets;
+    if (!gen.empty()) {
+        std::vector<WorkloadKind> kinds;
+        if (gen == "all")
+            kinds = allWorkloads();
+        else
+            kinds.push_back(workloadFromName(gen)); // fatal()s on junk.
+        for (WorkloadKind kind : kinds) {
+            const ParallelTrace trace = generateWorkload(kind, params);
+            targets.push_back(
+                {"gen:" + workloadName(kind), lintTrace(trace)});
+        }
+    } else {
+        for (const std::string &path : files) {
+            // Probe openability here: the reader fatal()s on a missing
+            // file, but an unreadable path is a usage error (exit 2),
+            // not a lint violation.
+            if (!std::ifstream(path)) {
+                std::cerr << "prefsim_lint: cannot open " << path << "\n";
+                return kExitUsage;
+            }
+            ParallelTrace trace;
+            try {
+                trace = readTraceAutoFile(path);
+            } catch (const std::exception &e) {
+                std::cerr << "prefsim_lint: cannot read " << path << ": "
+                          << e.what() << "\n";
+                return kExitUsage;
+            }
+            targets.push_back({path, lintTrace(trace)});
+        }
+    }
+
+    // Aggregate: one findings list, locations prefixed by target.
+    std::vector<Finding> all;
+    for (const Target &t : targets) {
+        for (Finding f : t.report.findings) {
+            f.location = f.location.empty()
+                             ? t.name
+                             : t.name + ": " + f.location;
+            all.push_back(std::move(f));
+        }
+    }
+
+    if (json) {
+        JsonWriter j(std::cout);
+        j.beginObject();
+        j.key("schema").value("prefsim-findings-v1");
+        j.key("tool").value("prefsim_lint");
+        j.key("targets").beginArray();
+        for (const Target &t : targets) {
+            j.beginObject();
+            j.key("name").value(t.name);
+            j.key("records").value(t.report.stats.records);
+            j.key("demand_refs").value(t.report.stats.demandRefs);
+            j.key("prefetches").value(t.report.stats.prefetches);
+            j.key("sync_ops").value(t.report.stats.syncOps);
+            j.key("ok").value(t.report.ok());
+            j.endObject();
+        }
+        j.endArray();
+        writeFindingsJson(j, all);
+        j.key("ok").value(!anyError(all));
+        j.endObject();
+        std::cout << "\n";
+    } else {
+        for (const Target &t : targets) {
+            std::cout << t.name << ": " << t.report.stats.records
+                      << " records, " << t.report.stats.demandRefs
+                      << " refs, " << t.report.stats.syncOps
+                      << " sync ops — "
+                      << (t.report.ok() ? "ok" : "VIOLATIONS") << "\n";
+        }
+        writeFindingsText(std::cout, all);
+    }
+    return findingsExitCode(all);
+}

@@ -2,7 +2,7 @@
  * @file
  * Structural validator for the observability layer's JSON outputs.
  *
- *   validate_telemetry METRICS.json [TRACE.json]
+ *   validate_telemetry [--json] METRICS.json [TRACE.json]
  *
  * Strict-parses (common/json.hh — the same parser the result cache
  * uses to detect corruption) and then checks shape:
@@ -10,15 +10,19 @@
  *  - METRICS.json must be a prefsim-telemetry-v1 document with the
  *    sweep stage counters/timings, and any histogram present must be
  *    internally consistent (counts match bounds, bucket totals +
- *    under/overflow == count).
+ *    under/overflow == count);
  *  - TRACE.json (optional) must be a Chrome trace-event document:
  *    a traceEvents array whose synchronous B/E events pair up in stack
  *    order per (pid, tid), whose async b/e events pair by
  *    (cat, id, scope), and whose timestamps are monotone per pid.
  *
- * Exits 0 when everything holds; prints the first violation and exits
- * 1 otherwise. scripts/check.sh runs this over the bench output of
- * both the default and the -DPREFSIM_TRACING=ON configurations.
+ * Violations are reported in the shared verification vocabulary
+ * (src/verify/finding.hh) under the telemetry.* rules; --json emits a
+ * prefsim-findings-v1 document. Exit codes: 0 everything holds,
+ * 1 violations, 2 usage or I/O error — the convention shared by
+ * prefsim_lint and prefsim_verify. scripts/check.sh runs this over the
+ * bench output of both the default and the -DPREFSIM_TRACING=ON
+ * configurations.
  */
 
 #include <cstdint>
@@ -33,25 +37,36 @@
 #include <vector>
 
 #include "common/json.hh"
+#include "verify/finding.hh"
 
 namespace
 {
 
 using prefsim::JsonValue;
+using prefsim::JsonWriter;
+using namespace prefsim::verify;
+
+/** A structural violation; aborts the containing check. */
+struct Violation
+{
+    std::string rule;
+    std::string message;
+};
 
 [[noreturn]] void
-fail(const std::string &what)
+fail(const std::string &rule, const std::string &what)
 {
-    std::cerr << "validate_telemetry: " << what << "\n";
-    std::exit(1);
+    throw Violation{rule, what};
 }
 
 std::string
 slurp(const char *path)
 {
     std::ifstream in(path, std::ios::binary);
-    if (!in)
-        fail(std::string("cannot open ") + path);
+    if (!in) {
+        std::cerr << "validate_telemetry: cannot open " << path << "\n";
+        std::exit(kExitUsage);
+    }
     std::ostringstream os;
     os << in.rdbuf();
     return os.str();
@@ -63,7 +78,7 @@ need(const JsonValue &obj, const std::string &key,
 {
     const JsonValue *v = obj.find(key);
     if (!v)
-        fail(where + " is missing \"" + key + "\"");
+        fail("telemetry.schema", where + " is missing \"" + key + "\"");
     return *v;
 }
 
@@ -73,19 +88,21 @@ checkHistogram(const std::string &name, const JsonValue &h)
     const auto &bounds = need(h, "bounds", name).array();
     const auto &counts = need(h, "counts", name).array();
     if (bounds.empty())
-        fail(name + ": empty bounds");
+        fail("telemetry.histogram", name + ": empty bounds");
     if (counts.size() + 1 != bounds.size())
-        fail(name + ": counts/bounds size mismatch");
+        fail("telemetry.histogram", name + ": counts/bounds size mismatch");
     for (std::size_t i = 1; i < bounds.size(); ++i) {
         if (bounds[i].asU64() <= bounds[i - 1].asU64())
-            fail(name + ": bounds not strictly ascending");
+            fail("telemetry.histogram",
+                 name + ": bounds not strictly ascending");
     }
     std::uint64_t total = need(h, "underflow", name).asU64() +
                           need(h, "overflow", name).asU64();
     for (const JsonValue &c : counts)
         total += c.asU64();
     if (total != need(h, "count", name).asU64())
-        fail(name + ": bucket totals do not sum to count");
+        fail("telemetry.histogram",
+             name + ": bucket totals do not sum to count");
 }
 
 void
@@ -93,10 +110,10 @@ checkMetrics(const std::string &text)
 {
     const auto doc = prefsim::parseJson(text);
     if (!doc)
-        fail("metrics file is not strict JSON");
+        fail("telemetry.parse", "metrics file is not strict JSON");
     if (need(*doc, "schema", "document").asString() !=
         "prefsim-telemetry-v1") {
-        fail("unexpected schema");
+        fail("telemetry.schema", "unexpected schema");
     }
     const JsonValue &sweep = need(*doc, "sweep", "document");
     for (const char *key :
@@ -118,15 +135,15 @@ checkMetrics(const std::string &text)
     }
 }
 
-void
+std::size_t
 checkTrace(const std::string &text)
 {
     const auto doc = prefsim::parseJson(text);
     if (!doc)
-        fail("trace file is not strict JSON");
+        fail("telemetry.parse", "trace file is not strict JSON");
     const JsonValue &events = need(*doc, "traceEvents", "document");
     if (!events.isArray())
-        fail("traceEvents is not an array");
+        fail("telemetry.trace", "traceEvents is not an array");
 
     std::map<std::uint64_t, std::uint64_t> last_ts;
     std::map<std::pair<std::uint64_t, std::uint64_t>,
@@ -147,7 +164,7 @@ checkTrace(const std::string &text)
         const std::uint64_t tid = need(ev, "tid", "event").asU64();
         const auto it = last_ts.find(pid);
         if (it != last_ts.end() && ts < it->second)
-            fail("timestamps regress within one pid");
+            fail("telemetry.trace", "timestamps regress within one pid");
         last_ts[pid] = ts;
 
         const std::string &name = need(ev, "name", "event").asString();
@@ -156,9 +173,11 @@ checkTrace(const std::string &text)
         } else if (ph == "E") {
             auto &stack = open_spans[{pid, tid}];
             if (stack.empty())
-                fail("E without matching B (" + name + ")");
+                fail("telemetry.trace",
+                     "E without matching B (" + name + ")");
             if (stack.back() != name)
-                fail("spans cross instead of nesting (" + name + ")");
+                fail("telemetry.trace",
+                     "spans cross instead of nesting (" + name + ")");
             stack.pop_back();
         } else if (ph == "b" || ph == "e") {
             const auto key = std::make_tuple(
@@ -168,21 +187,25 @@ checkTrace(const std::string &text)
             long &open = open_async[key];
             open += ph == "b" ? 1 : -1;
             if (open < 0)
-                fail("async e before its b (" + name + ")");
+                fail("telemetry.trace",
+                     "async e before its b (" + name + ")");
         } else if (ph != "i") {
-            fail("unexpected event phase \"" + ph + "\"");
+            fail("telemetry.trace",
+                 "unexpected event phase \"" + ph + "\"");
         }
     }
     for (const auto &[key, stack] : open_spans) {
         if (!stack.empty())
-            fail("unclosed span \"" + stack.back() + "\"");
+            fail("telemetry.trace",
+                 "unclosed span \"" + stack.back() + "\"");
     }
     for (const auto &[key, open] : open_async) {
         if (open != 0)
-            fail("unclosed async span id " +
-                 std::to_string(std::get<1>(key)));
+            fail("telemetry.trace",
+                 "unclosed async span id " +
+                     std::to_string(std::get<1>(key)));
     }
-    std::cout << "trace ok: " << emitted << " events\n";
+    return emitted;
 }
 
 } // namespace
@@ -190,14 +213,55 @@ checkTrace(const std::string &text)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2 || argc > 3) {
-        std::cerr << "usage: validate_telemetry METRICS.json "
-                     "[TRACE.json]\n";
-        return 2;
+    bool json = false;
+    std::vector<const char *> paths;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json")
+            json = true;
+        else
+            paths.push_back(argv[i]);
     }
-    checkMetrics(slurp(argv[1]));
-    std::cout << "metrics ok: " << argv[1] << "\n";
-    if (argc == 3)
-        checkTrace(slurp(argv[2]));
-    return 0;
+    if (paths.empty() || paths.size() > 2) {
+        std::cerr << "usage: validate_telemetry [--json] METRICS.json "
+                     "[TRACE.json]\n";
+        return kExitUsage;
+    }
+
+    std::vector<Finding> findings;
+    std::size_t trace_events = 0;
+    auto run = [&](const char *path, auto &&check) {
+        try {
+            check(slurp(path));
+        } catch (const Violation &v) {
+            Finding f;
+            f.rule = v.rule;
+            f.message = v.message;
+            f.location = path;
+            findings.push_back(std::move(f));
+        }
+    };
+    run(paths[0], [](const std::string &t) { checkMetrics(t); });
+    if (paths.size() == 2)
+        run(paths[1],
+            [&](const std::string &t) { trace_events = checkTrace(t); });
+
+    if (json) {
+        JsonWriter j(std::cout);
+        j.beginObject();
+        j.key("schema").value("prefsim-findings-v1");
+        j.key("tool").value("validate_telemetry");
+        j.key("trace_events").value(std::uint64_t{trace_events});
+        writeFindingsJson(j, findings);
+        j.key("ok").value(findings.empty());
+        j.endObject();
+        std::cout << "\n";
+    } else {
+        writeFindingsText(std::cout, findings);
+        if (findings.empty()) {
+            std::cout << "metrics ok: " << paths[0] << "\n";
+            if (paths.size() == 2)
+                std::cout << "trace ok: " << trace_events << " events\n";
+        }
+    }
+    return findingsExitCode(findings);
 }
