@@ -9,6 +9,7 @@
  *   --jobs N         sweep worker threads (0 = all cores; default 1)
  *   --cache-dir PATH persist results to an on-disk cache at PATH
  *   --no-cache       ignore any --cache-dir; recompute everything
+ *   --engine E       simulation core: event (default) or cycle
  *   --csv            machine-readable CSV output (where supported)
  *   --quiet          suppress informational logging
  *   --log-level L    minimum log severity: error, warn, info, debug
@@ -92,6 +93,16 @@ parseBenchArgs(int argc, char **argv,
             opts.sweep.cacheDir = next();
         } else if (arg == "--no-cache") {
             opts.sweep.useCache = false;
+        } else if (arg == "--engine") {
+            const std::string name = next();
+            if (name == "cycle") {
+                opts.sweep.engine = SimEngine::CycleLoop;
+            } else if (name == "event") {
+                opts.sweep.engine = SimEngine::EventDriven;
+            } else {
+                prefsim_fatal("--engine expects cycle or event, got '",
+                              name, "'");
+            }
         } else if (arg == "--csv") {
             opts.csv = true;
         } else if (arg == "--quiet") {
@@ -123,6 +134,10 @@ parseBenchArgs(int argc, char **argv,
                    "  --cache-dir PATH persist results to an on-disk "
                    "cache\n"
                    "  --no-cache       ignore any --cache-dir\n"
+                   "  --engine E       simulation core: event (default) "
+                   "or cycle (the\n"
+                   "                   reference loop; bit-identical "
+                   "results, slower)\n"
                    "  --csv            machine-readable CSV output\n"
                    "  --quiet          suppress informational logging\n"
                    "  --log-level L    minimum severity: error, warn, "

@@ -1,0 +1,97 @@
+#!/bin/sh
+# Simulation-core throughput benchmark: runs the paper's main result
+# (bench_fig2_exec_time) under both engines and records wall time and
+# engine throughput to a JSON report. A second, 3-processor micro run
+# covers the low-contention regime where fast-forward windows are long
+# and the event engine's advantage is largest.
+#
+# Usage: scripts/bench_perf.sh [--refs N] [--out FILE] [--build DIR]
+#   --refs N    demand references per processor (default 100000, the
+#               acceptance configuration; use a small N for smoke runs)
+#   --out FILE  report destination (default BENCH_simcore.json)
+#   --build DIR build directory (default build)
+#
+# Engine results are identical by contract, so the experiment cache
+# would serve one engine's numbers to the other; every run below uses
+# --no-cache to force real simulation.
+set -e
+REFS=100000
+OUT=BENCH_simcore.json
+BUILD=build
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --refs) REFS=$2; shift 2 ;;
+        --out) OUT=$2; shift 2 ;;
+        --build) BUILD=$2; shift 2 ;;
+        *) echo "unknown option: $1" >&2; exit 1 ;;
+    esac
+done
+
+BENCH="$BUILD/bench/bench_fig2_exec_time"
+if [ ! -x "$BENCH" ]; then
+    echo "error: $BENCH not built (cmake --build $BUILD)" >&2
+    exit 1
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# One benchmark run: wall-clock it, pull the simulation volume out of
+# the sweep telemetry, and append a JSON fragment for the report.
+# $1 = label, $2 = engine, $3 = procs
+run_one() {
+    label=$1
+    engine=$2
+    procs=$3
+    start=$(date +%s.%N)
+    "$BENCH" --refs "$REFS" --procs "$procs" --engine "$engine" \
+        --no-cache --quiet --metrics-out "$TMP/$label.metrics.json" \
+        > /dev/null
+    end=$(date +%s.%N)
+    # grep -o keeps this POSIX-sh + awk only; the telemetry writer
+    # emits compact one-line JSON.
+    cycles=$(grep -o '"simulated_cycles":[0-9]*' "$TMP/$label.metrics.json" \
+        | cut -d: -f2)
+    refs=$(grep -o '"simulated_refs":[0-9]*' "$TMP/$label.metrics.json" \
+        | cut -d: -f2)
+    simns=$(grep -o '"simulate_nanos":[0-9]*' "$TMP/$label.metrics.json" \
+        | cut -d: -f2)
+    awk -v l="$label" -v e="$engine" -v p="$procs" -v s="$start" \
+        -v t="$end" -v c="$cycles" -v r="$refs" -v n="$simns" 'BEGIN {
+        w = t - s
+        printf "\"%s\":{\"engine\":\"%s\",\"procs\":%d,", l, e, p
+        printf "\"wall_s\":%.3f,\"sim_only_s\":%.3f,", w, n / 1e9
+        printf "\"sim_cycles\":%d,\"sim_refs\":%d,", c, r
+        printf "\"cycles_per_s\":%.0f,\"refs_per_s\":%.0f}", c / w, r / w
+    }' >> "$TMP/runs.json"
+    echo "$label: $(awk -v s="$start" -v t="$end" \
+        'BEGIN { printf "%.1f", t - s }')s wall"
+}
+
+echo "== simcore throughput (refs=$REFS, report: $OUT)"
+run_one fig2_event event 16
+printf ',' >> "$TMP/runs.json"
+run_one fig2_cycle cycle 16
+printf ',' >> "$TMP/runs.json"
+run_one micro3_event event 3
+printf ',' >> "$TMP/runs.json"
+run_one micro3_cycle cycle 3
+
+{
+    printf '{"schema":"prefsim-bench-simcore-v1",'
+    printf '"bench":"bench_fig2_exec_time","refs_per_proc":%s,' "$REFS"
+    printf '"runs":{'
+    cat "$TMP/runs.json"
+    printf '},'
+    # Headline speedup: reference cycle loop vs. event engine, whole
+    # benchmark wall time (trace generation + annotation included, so
+    # this understates the engine-only ratio; sim_only_s isolates it).
+    grep -o '"wall_s":[0-9.]*' "$TMP/runs.json" | cut -d: -f2 \
+        | paste -sd' ' - \
+        | awk '{ printf "\"speedup_fig2_wall\":%.2f,", $2 / $1
+                 printf "\"speedup_micro3_wall\":%.2f", $4 / $3 }'
+    printf '}\n'
+} > "$OUT"
+
+echo "report: $OUT"
+awk '{ print }' "$OUT"

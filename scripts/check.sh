@@ -2,7 +2,9 @@
 # Full verification pass over every supported configuration:
 #
 #   1. plain build + tests + bench/example smoke + determinism +
-#      telemetry validation;
+#      the engine differential (event core vs. reference cycle loop,
+#      byte-compared) + simulation-core throughput smoke + telemetry
+#      validation;
 #   2. the verification layer: exhaustive protocol model checking
 #      (2- and 3-cache), seeded-mutation detection, and the trace
 #      linter over all five workload generators;
@@ -66,6 +68,35 @@ stage "parallel determinism"
     --quiet --jobs "$JOBS" > "$CACHE/parallel.csv"
 cmp "$CACHE/serial.csv" "$CACHE/parallel.csv"
 echo "ok: parallel output identical to serial"
+
+stage "engine differential"
+# The event-driven core must emit byte-identical results to the
+# reference cycle loop (docs/simcore.md). The engine is deliberately
+# not part of the experiment cache key, so --no-cache is required:
+# a cached run would compare one engine's numbers against themselves.
+"$BUILD"/bench/bench_fig2_exec_time --refs 10000 --procs 8 --csv \
+    --quiet --no-cache --jobs "$JOBS" --engine event > "$CACHE/event.csv"
+"$BUILD"/bench/bench_fig2_exec_time --refs 10000 --procs 8 --csv \
+    --quiet --no-cache --jobs "$JOBS" --engine cycle > "$CACHE/cycle.csv"
+cmp "$CACHE/event.csv" "$CACHE/cycle.csv"
+echo "ok: event engine byte-identical to the cycle loop on fig2"
+
+stage "simcore throughput smoke"
+# Reduced-refs run of the throughput benchmark: proves the report
+# machinery works and the event engine is not slower than the
+# reference loop. The budget is generous — it guards against a
+# pathological regression (e.g. a fast-forward window that stopped
+# forming), not timing noise.
+SMOKE_START=$(date +%s)
+scripts/bench_perf.sh --refs 3000 --out "$CACHE/bench_smoke.json" \
+    --build "$BUILD"
+SMOKE_ELAPSED=$(($(date +%s) - SMOKE_START))
+if [ "$SMOKE_ELAPSED" -gt 300 ]; then
+    echo "FAIL: simcore smoke took ${SMOKE_ELAPSED}s (budget 300s)" >&2
+    exit 1
+fi
+grep -q '"schema":"prefsim-bench-simcore-v1"' "$CACHE/bench_smoke.json"
+echo "ok: simcore smoke in ${SMOKE_ELAPSED}s (budget 300s)"
 
 stage "telemetry validation"
 # --metrics-out emits strict JSON in the default build too; the

@@ -196,6 +196,7 @@ SweepEngine::executeBatch(const std::vector<ExperimentSpec> &specs)
         result->spec = *node.spec;
         result->annotate = ann->stats;
         SimConfig cfg = node.spec->simConfig();
+        cfg.engine = options_.engine;
         if (obs_) {
             cfg.obs = obs_.get();
             cfg.traceLabel = node.spec->label();
@@ -209,6 +210,9 @@ SweepEngine::executeBatch(const std::vector<ExperimentSpec> &specs)
         runs_[node.runKey] = std::move(result);
         ++counters_.simulationsRun;
         counters_.simulateNanos += nanos;
+        const auto &done = *runs_[node.runKey];
+        counters_.simulatedCycles += done.sim.cycles;
+        counters_.simulatedRefs += done.sim.totalDemandRefs();
     };
 
     const auto runAnn = [&](std::size_t i) {
@@ -422,6 +426,8 @@ SweepEngine::writeTelemetryJson(std::ostream &os) const
     j.key("cache_hits").value(counters_.cacheHits);
     j.key("cache_stores").value(counters_.cacheStores);
     j.key("cache_rejected").value(counters_.cacheRejected);
+    j.key("simulated_cycles").value(counters_.simulatedCycles);
+    j.key("simulated_refs").value(counters_.simulatedRefs);
     j.key("trace_nanos").value(counters_.traceNanos);
     j.key("annotate_nanos").value(counters_.annotateNanos);
     j.key("simulate_nanos").value(counters_.simulateNanos);

@@ -51,6 +51,11 @@ struct SweepOptions
     /** Additionally record event traces (--trace-out). Only effective
      *  in a PREFSIM_TRACING build; implies metrics. */
     bool tracing = false;
+    /** Simulation core (--engine). Results are identical by contract
+     *  (docs/simcore.md), so this is not part of the experiment cache
+     *  key: an engine-differential run must use --no-cache or separate
+     *  cache directories. */
+    SimEngine engine = SimEngine::EventDriven;
 };
 
 /** Work accounting: what actually executed vs. came from the cache. */
@@ -62,6 +67,13 @@ struct SweepCounters
     std::uint64_t cacheHits = 0;     ///< Results loaded from disk.
     std::uint64_t cacheStores = 0;   ///< Results persisted to disk.
     std::uint64_t cacheRejected = 0; ///< Corrupt/stale entries recomputed.
+
+    /** @name Simulation volume (freshly run points only — cache hits
+     *  add nothing). Divide by simulateNanos for engine throughput;
+     *  scripts/bench_perf.sh does exactly that. @{ */
+    std::uint64_t simulatedCycles = 0;
+    std::uint64_t simulatedRefs = 0;
+    /** @} */
 
     /** Wall-clock nanoseconds summed per stage across all workers
      *  (overlapping work counts once per worker, so with --jobs > 1 the

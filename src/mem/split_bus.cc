@@ -236,6 +236,37 @@ SplitBus::busy() const
     return !active_.empty() || !waiting_.empty() || !addr_ops_.empty();
 }
 
+Cycle
+SplitBus::nextEventCycle(Cycle now) const
+{
+    return std::min(nextCompletionCycle(now), nextGrantCycle(now));
+}
+
+Cycle
+SplitBus::nextCompletionCycle(Cycle now) const
+{
+    Cycle next = kNoCycle;
+    for (const Pending &p : addr_ops_)
+        next = std::min(next, p.readyAt);
+    for (const Active &a : active_)
+        next = std::min(next, a.endsAt);
+    // Deadlines in the past fire at the next tick (tick() completes
+    // anything with readyAt/endsAt <= now).
+    return next == kNoCycle ? kNoCycle : std::max(next, now);
+}
+
+Cycle
+SplitBus::nextGrantCycle(Cycle now) const
+{
+    if (active_.size() >= timing_.dataChannels)
+        return kNoCycle; // Gated on a completion freeing a channel.
+    Cycle next = kNoCycle;
+    // A queued op can be granted as soon as its memory phase ends.
+    for (const Pending &p : waiting_)
+        next = std::min(next, p.readyAt);
+    return next == kNoCycle ? kNoCycle : std::max(next, now);
+}
+
 std::vector<Transaction>
 SplitBus::pendingTransactions() const
 {

@@ -159,6 +159,39 @@ class SplitBus
     bool busy() const;
 
     /**
+     * Earliest future cycle at which tick() could change bus state:
+     * an address op or transfer completing, or a queued operation
+     * becoming grantable (only counted while a data channel is free —
+     * with every channel busy the next grant is gated on a completion,
+     * which the active-transfer bound already covers). Ticks strictly
+     * before the returned cycle are provably no-ops; the event-driven
+     * simulator core skips them. @return kNoCycle when the bus is idle.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Earliest cycle a completion callback could fire: an address op's
+     * fixed latency or an active transfer's occupancy elapsing.
+     * Completions install lines and wake processors, so they bound the
+     * event core's fast-forward windows; grants (nextGrantCycle) do
+     * not — they touch only bus-internal queues and statistics, so the
+     * core folds them into the window by ticking the bus mid-gap.
+     * @return kNoCycle when nothing is in flight.
+     */
+    Cycle nextCompletionCycle(Cycle now) const;
+
+    /**
+     * Earliest cycle a queued data operation could be granted a
+     * channel: the minimum readyAt over the waiting queue while a
+     * channel is free. With every channel busy the next grant is gated
+     * on a completion, so this returns kNoCycle (the completion bound
+     * covers it). A tick at the returned cycle performs the grant(s);
+     * the following call then returns a strictly later cycle (or
+     * kNoCycle), so grant-folding loops terminate.
+     */
+    Cycle nextGrantCycle(Cycle now) const;
+
+    /**
      * Snapshot of every transaction currently owned by the bus, in a
      * deterministic order (in transfer, then data-queue, then address
      * ops). Verification introspection: the model checker encodes this
@@ -166,6 +199,23 @@ class SplitBus
      * the caches' MSHRs (no lost or duplicated transactions).
      */
     std::vector<Transaction> pendingTransactions() const;
+
+    /**
+     * Visit every owned transaction in the pendingTransactions() order
+     * without materialising a vector (the runtime invariant hooks call
+     * this per protocol step, so the copy was hot-path allocation).
+     */
+    template <typename Fn>
+    void
+    forEachPending(Fn &&fn) const
+    {
+        for (const Active &a : active_)
+            fn(a.pending.txn);
+        for (const Pending &p : waiting_)
+            fn(p.txn);
+        for (const Pending &p : addr_ops_)
+            fn(p.txn);
+    }
 
     /**
      * Structural bus invariants: transfer count within dataChannels,

@@ -17,7 +17,8 @@ MemorySystem::MemorySystem(unsigned num_procs, const CacheGeometry &geom,
                            CoherenceProtocol protocol)
     : geom_(geom), bus_(timing, num_procs),
       pdb_entries_(prefetch_data_buffer_entries), protocol_(protocol),
-      stats_(proc_stats), pending_upgrade_(num_procs, kNoAddr)
+      stats_(proc_stats), pending_upgrade_(num_procs, kNoAddr),
+      cache_version_(num_procs, 0)
 {
     prefsim_assert(proc_stats.size() == num_procs,
                    "proc stats size mismatch");
@@ -111,6 +112,8 @@ MemorySystem::downgradeOthers(ProcId requester, Addr line_base, Cycle now)
         if (CacheFrame *f = c.findAny(line_base)) {
             if (isValid(f->state)) {
                 if (isPrivate(f->state)) {
+                    // Losing M/E shrinks the owner's quiet-write set.
+                    ++cache_version_[p];
                     if (obs_.downgrades)
                         obs_.downgrades->inc();
                     PREFSIM_TRACE(obs_.trace,
@@ -154,6 +157,7 @@ MemorySystem::invalidateOthers(ProcId requester, Addr line_base,
         DataCache &c = *caches_[p];
         if (CacheFrame *f = c.findAny(line_base)) {
             if (isValid(f->state)) {
+                ++cache_version_[p]; // The copy stops hitting quietly.
                 if (obs_.invalidations)
                     obs_.invalidations->inc();
                 PREFSIM_TRACE(obs_.trace,
@@ -170,7 +174,10 @@ MemorySystem::invalidateOthers(ProcId requester, Addr line_base,
         }
         if (CacheFrame *parked = c.findParked(line_base)) {
             // A non-snooping buffer would have served this stale line;
-            // count the hazard and kill the entry (see 3.1).
+            // count the hazard and kill the entry (see 3.1). Killing it
+            // stops findParked() from seeing it, so a prefetch to this
+            // line no longer drops quietly.
+            ++cache_version_[p];
             parked->state = LineState::Invalid;
             c.markPrefetchLost(line_base);
             ++stats_[p].bufferProtectionEvents;
@@ -466,6 +473,10 @@ MemorySystem::onBusComplete(const Transaction &txn, Cycle now)
       case BusOpKind::ReadShared:
       case BusOpKind::ReadExclusive: {
         DataCache &c = *caches_[txn.requester];
+        // Every completion path below changes what the requester's
+        // quiet-hit/quiet-drop predicates would answer: the MSHR
+        // retires, and the line installs, parks, or arrives dead.
+        ++cache_version_[txn.requester];
         const Mshr m = c.releaseMshr(txn.lineBase);
         // The prefetch was late: a demand access has been blocked on
         // this fill since demandAttachedAt. (Demand misses record their
@@ -631,19 +642,21 @@ MemorySystem::checkLineInvariantDetail(Addr addr, std::string *why) const
     // has exactly one fill transaction on the bus and vice versa (no
     // lost or duplicated transactions); pending upgrades match their
     // address-bus operations the same way.
-    const std::vector<Transaction> pending = bus_.pendingTransactions();
     for (ProcId p = 0; p < caches_.size(); ++p) {
         unsigned fills = 0;
         unsigned upgrades = 0;
-        for (const Transaction &t : pending) {
+        // Iterate the bus queues in place: this predicate runs per
+        // protocol step under PREFSIM_VERIFY, so a snapshot copy of
+        // every pending transaction was hot-path allocation.
+        bus_.forEachPending([&](const Transaction &t) {
             if (t.lineBase != base || t.requester != p)
-                continue;
+                return;
             if (transfersData(t.kind))
                 ++fills;
             else if (t.kind == BusOpKind::Upgrade ||
                      t.kind == BusOpKind::WriteUpdate)
                 ++upgrades;
-        }
+        });
         const bool has_mshr = caches_[p]->findMshr(base) != nullptr;
         if (has_mshr && fills != 1)
             return violate("bus.mshr_bijection: cache " +

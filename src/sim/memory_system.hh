@@ -186,6 +186,95 @@ class MemorySystem
     /** True while any bus operation is outstanding. */
     bool busBusy() const { return bus_.busy(); }
 
+    /** Earliest future cycle at which tick() could do any work, or
+     *  kNoCycle when the bus is idle (see SplitBus::nextEventCycle).
+     *  The event-driven simulator core skips the cycles in between. */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        return bus_.nextEventCycle(now);
+    }
+
+    /** Earliest future completion (wakes processors / installs lines;
+     *  bounds fast-forward windows — see SplitBus::nextCompletionCycle). */
+    Cycle
+    nextCompletionCycle(Cycle now) const
+    {
+        return bus_.nextCompletionCycle(now);
+    }
+
+    /** Earliest future data-bus grant (bus-internal only; the event
+     *  core folds these into fast-forward windows — see
+     *  SplitBus::nextGrantCycle). */
+    Cycle
+    nextGrantCycle(Cycle now) const
+    {
+        return bus_.nextGrantCycle(now);
+    }
+
+    /**
+     * Would demandAccess() return Hit without any bus interaction?
+     * True for a read hit on any valid line and a write hit on a
+     * Modified or Exclusive line (the Illinois silent upgrade); false
+     * for everything that stalls, swaps from the victim buffer or
+     * prefetch data buffer, promotes an in-flight prefetch, or issues
+     * a bus operation (write hit on Shared). Such a *quiet hit*
+     * mutates only the owning cache's local bookkeeping, so the
+     * event-driven core may execute it inside a fast-forward window:
+     * nothing another processor or the bus does is affected by it, and
+     * — because quiet hits never evict or change line residency — its
+     * own later quiet-hit predictions stay valid too.
+     */
+    bool
+    wouldHitQuietly(ProcId proc, Addr addr, bool is_write) const
+    {
+        const CacheFrame *f = caches_[proc]->findFrame(addr);
+        if (f == nullptr || !isValid(f->state))
+            return false;
+        return !is_write || f->state == LineState::Modified ||
+               f->state == LineState::Exclusive;
+    }
+
+    /**
+     * Would prefetchAccess() drop without any side effect beyond its
+     * own statistics? True when the line is already resident, already
+     * in flight, or already parked in the prefetch data buffer —
+     * mirroring prefetchAccess()'s early-out order, with the
+     * victim-buffer swap (which does mutate residency) excluded. A
+     * quiet drop lets the event-driven core keep a fast-forward window
+     * open across the prefetch instruction.
+     */
+    bool
+    wouldPrefetchDropQuietly(ProcId proc, Addr addr) const
+    {
+        const DataCache &c = *caches_[proc];
+        if (c.resident(addr))
+            return true;
+        if (c.findMshr(addr) != nullptr)
+            return true;
+        if (c.victimEntries() > 0)
+            return false; // A victim hit would swap lines: not quiet.
+        return pdb_entries_ > 0 && c.findParked(addr) != nullptr;
+    }
+
+    /**
+     * Version of @p proc's cache contents as seen by the quiet-hit /
+     * quiet-drop predicates above. Bumped whenever anything *other
+     * than this processor's own cycle-exact execution* changes the
+     * answer those predicates could give: a remote invalidation or
+     * downgrade of one of its lines, and every fill completion
+     * (install, dead fill, prefetch-buffer park — all of which also
+     * retire an MSHR). The processor's own misses, swaps, and prefetch
+     * issues need no bump: they execute in cycle-exact territory at
+     * the point its cached inert walk already ends, so the cache
+     * expires by construction. The event-driven core uses this to
+     * reuse a processor's inert-walk result across windows.
+     */
+    std::uint64_t cacheVersion(ProcId proc) const
+    {
+        return cache_version_[proc];
+    }
+
     const SplitBus &bus() const { return bus_; }
     const DataCache &cache(ProcId p) const { return *caches_[p]; }
     DataCache &cache(ProcId p) { return *caches_[p]; }
@@ -269,6 +358,9 @@ class MemorySystem
 
     /** Pending upgrade per processor (line base; kNoAddr when none). */
     std::vector<Addr> pending_upgrade_;
+
+    /** See cacheVersion(). */
+    std::vector<std::uint64_t> cache_version_;
 };
 
 } // namespace prefsim

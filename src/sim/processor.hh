@@ -46,8 +46,129 @@ class Processor
      */
     void wake(bool retry, Cycle now);
 
-    /** Release from a barrier (all processors arrived). */
-    void barrierRelease(Cycle now);
+    /**
+     * Release from a barrier (all processors arrived).
+     * @param ticked_this_cycle This processor's slot in the service
+     *        rotation came before the releasing processor's, i.e. it
+     *        already spent cycle @p now waiting (lazy stall accounting
+     *        settles waitBarrier here; see docs/simcore.md).
+     */
+    void barrierRelease(Cycle now, bool ticked_this_cycle);
+
+    /**
+     * Number of upcoming cycles this processor is *inert* for, capped
+     * at @p limit: ticks that cannot acquire a lock, release one,
+     * block, arrive at a barrier, issue a bus operation, or otherwise
+     * affect another processor. A Running processor walks its trace:
+     * Instr bursts, the instruction cycle of two-phase references, and
+     * demand accesses that would hit quietly (see
+     * MemorySystem::wouldHitQuietly), and prefetch accesses that would
+     * drop quietly (wouldPrefetchDropQuietly) are all inert; the walk
+     * stops at the first sync record, prefetch that would issue or
+     * stall, or access that would miss, upgrade, or swap. Reaching the
+     * end of the trace stops the
+     * walk too — the cycle count up to Done bounds the window so the
+     * final simulated cycle is exact in both engines. Blocked and Done
+     * processors return kNoCycle: they never constrain the
+     * fast-forward window (their wake-ups come from bus completions or
+     * other processors' ticks, which bound the window separately). 0
+     * means the next tick may have side effects and must execute
+     * cycle-exactly.
+     *
+     * The walk result is memoized against the cache version (see
+     * MemorySystem::cacheVersion): as long as nothing has changed this
+     * processor's cache from outside, a previous walk's end point
+     * stays valid and later queries are O(1). @p now must be the
+     * current simulation cycle.
+     *
+     * The state dispatch is inline: the event loop calls this for
+     * every processor at every fast-forward window boundary.
+     */
+    Cycle
+    inertCycles(Cycle now, Cycle limit) const
+    {
+        switch (state_) {
+          case State::Done:
+          case State::WaitMemory:
+          case State::WaitBarrier:
+            // Woken by a bus completion or another processor's tick;
+            // never a constraint on the fast-forward window.
+            return kNoCycle;
+          case State::SpinLock:
+            // While the lock is held, per-cycle retries provably fail:
+            // it can only be freed by a LockRelease, which executes in
+            // an exact cycle (fastForward() bulk-adds the failed
+            // retries). A released lock is grabbed at the very next
+            // tick — and the release may have happened after this
+            // processor's slot in the releasing cycle's rotation, so
+            // it must force an exact cycle *now*, not merely rely on
+            // the release cycle being exact.
+            return locks_.holder(trace_[index_].sync) == kNoProc
+                       ? 0
+                       : kNoCycle;
+          case State::StallPrefetch:
+            // Retries fail until an MSHR frees, which only happens in
+            // a bus completion — and those fire at the start of the
+            // cycle, before the processor rotation, so the bus bound
+            // on the fast-forward window already covers the
+            // successful retry.
+            return kNoCycle;
+          case State::Running:
+            // Memo fast path inline: the event loop queries every
+            // processor at every window boundary, and most queries
+            // re-read an unchanged walk (see runningInertCycles for
+            // the walk itself and the memo write-back).
+            if (inert_valid_ &&
+                inert_version_ == mem_.cacheVersion(id_) &&
+                inert_until_ > now) {
+                const Cycle left = inert_until_ - now;
+                if (left >= limit)
+                    return limit;
+                if (!inert_capped_)
+                    return left;
+            }
+            return runningInertCycles(now, limit);
+        }
+        return 0;
+    }
+
+    /**
+     * Retire @p n inert cycles [now, now+n) in one step, with stats
+     * identical to n individual tick() calls. Only legal when @p n <=
+     * inertCycles(n) for Running processors — quiet hits promised by
+     * the inert walk are executed for real against the memory system
+     * here (their effects are own-cache-only, so no ordering with
+     * other processors' windows arises). Blocked processors accept any
+     * span (their counters are either bulk-added here — SpinLock /
+     * StallPrefetch, whose per-cycle retries provably fail during an
+     * inert window — or settled lazily at wake).
+     */
+    void fastForward(Cycle n, Cycle now);
+
+    /** True when tick() would do any work (Running, or retrying a
+     *  lock/prefetch each cycle). WaitMemory/WaitBarrier/Done ticks
+     *  are no-ops — their stall time is settled at wake — so the
+     *  simulator skips them entirely. */
+    bool
+    needsTick() const
+    {
+        return state_ == State::Running || state_ == State::SpinLock ||
+               state_ == State::StallPrefetch;
+    }
+
+    /** Attach the simulator's finished-processor counter (incremented
+     *  once when this processor retires its last record). */
+    void setDoneCounter(std::size_t *c) { done_counter_ = c; }
+
+    /**
+     * Select eager (per-cycle) stall accounting: every blocked tick
+     * increments its bucket immediately and the wake-time settlement
+     * adds zero. The CycleLoop oracle enables this so the differential
+     * suite verifies the event engine's lazy settlement against
+     * straightforward counting rather than sharing its arithmetic;
+     * results are bit-identical by construction.
+     */
+    void setEagerStalls(bool eager) { eager_stalls_ = eager; }
 
     bool done() const { return state_ == State::Done; }
     bool waitingAtBarrier() const { return state_ == State::WaitBarrier; }
@@ -75,6 +196,19 @@ class Processor
 
     /** Advance to the next record. */
     void advance(Cycle now);
+
+    /** The Running-state trace walk behind inertCycles(). */
+    Cycle runningInertCycles(Cycle now, Cycle limit) const;
+
+    /** Arm the lazy stall clock: the entering tick (cycle @p now) has
+     *  already counted itself into @p bucket, so the settlement at wake
+     *  covers [now + 1, wake). */
+    void
+    beginLazyStall(Cycle *bucket, Cycle now)
+    {
+        stall_bucket_ = bucket;
+        stall_anchor_ = now + 1;
+    }
 
     /** Execute the data access of the current Read/Write record.
      *  @return true if the record completed. */
@@ -120,6 +254,39 @@ class Processor
     std::uint32_t instr_left_ = 0;///< Remaining count of an Instr record.
     bool in_access_phase_ = false;///< Ref record: instruction cycle done.
     std::uint64_t progress_ = 0;
+
+    /** @name Lazy stall accounting (WaitMemory / WaitBarrier).
+     * Blocked ticks are no-ops; the time is settled arithmetically at
+     * wake as `now - stall_anchor_`. The anchor is entry cycle + 1
+     * because the entering tick pre-counts its own cycle. The bucket a
+     * WaitMemory stall lands in (demand vs. upgrade) is chosen once at
+     * entry from the AccessResult instead of re-deriving it from the
+     * cache state every cycle. @{ */
+    Cycle stall_anchor_ = 0;
+    Cycle *stall_bucket_ = nullptr;
+    /** @} */
+
+    /** Simulator's count of Done processors (may be null in unit
+     *  tests driving a Processor directly). */
+    std::size_t *done_counter_ = nullptr;
+
+    /** Count blocked cycles eagerly (CycleLoop oracle; see
+     *  setEagerStalls). */
+    bool eager_stalls_ = false;
+
+    /** @name Inert-walk memo (see inertCycles).
+     * A completed walk's end point, valid while the cache version is
+     * unchanged and the current cycle is still before the end point —
+     * self progression cannot invalidate it (fast-forward and exact
+     * ticks both follow the walked path), and the processor's own
+     * walk-ending action expires it by advancing past inert_until_.
+     * inert_capped_ marks a walk cut short by its lookahead cap rather
+     * than a real boundary. @{ */
+    mutable Cycle inert_until_ = 0;
+    mutable std::uint64_t inert_version_ = 0;
+    mutable bool inert_valid_ = false;
+    mutable bool inert_capped_ = false;
+    /** @} */
 
     obs::TraceBuffer *trace_buf_ = nullptr;
     Cycle stall_begin_ = 0;       ///< Open-stall bookkeeping (tracing).

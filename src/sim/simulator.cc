@@ -1,6 +1,6 @@
 #include "sim/simulator.hh"
 
-#include <algorithm>
+#include <bit>
 #include <sstream>
 
 #include "common/log.hh"
@@ -30,9 +30,18 @@ Simulator::Simulator(const ParallelTrace &trace, const SimConfig &config)
     });
 
     auto release_all = [this](Cycle now) {
+        // The release happens mid-rotation, from the last arriver's
+        // tick: waiters whose service slot this cycle preceded the
+        // releaser's have already spent the cycle waiting (lazy stall
+        // accounting settles that in barrierRelease).
+        const auto n = static_cast<unsigned>(procs_.size());
+        const unsigned start = static_cast<unsigned>(now % n);
+        const unsigned releaser_pos = (ticking_ + n - start) % n;
         for (auto &pr : procs_) {
-            if (pr && pr->waitingAtBarrier())
-                pr->barrierRelease(now);
+            if (pr && pr->waitingAtBarrier()) {
+                const unsigned pos = (pr->id() + n - start) % n;
+                pr->barrierRelease(now, pos < releaser_pos);
+            }
         }
         if (!warmup_done_ && config_.warmupEpisodes > 0 &&
             barriers_.episodes() >= config_.warmupEpisodes) {
@@ -41,11 +50,22 @@ Simulator::Simulator(const ParallelTrace &trace, const SimConfig &config)
         }
     };
 
+    // The reference loop services every processor every cycle with
+    // eager per-cycle stall counting; the event engine skips blocked
+    // processors and settles their stalls arithmetically at wake. Both
+    // produce bit-identical statistics — deliberately via different
+    // code paths, so the differential suite actually checks the lazy
+    // arithmetic against the straightforward accounting.
+    tick_all_ = config.engine == SimEngine::CycleLoop;
     procs_.reserve(trace.numProcs());
     for (ProcId p = 0; p < trace.numProcs(); ++p) {
         procs_.push_back(std::make_unique<Processor>(
             p, trace.procs[p], *mem_, locks_, barriers_, proc_stats_[p],
             release_all));
+        procs_.back()->setDoneCounter(&done_count_);
+        procs_.back()->setEagerStalls(tick_all_);
+        if (procs_.back()->done())
+            ++done_count_; // Empty trace: Done at construction.
     }
 
     if (config.obs) {
@@ -69,13 +89,6 @@ Simulator::resetStatsForWarmup()
     mem_->resetBusStats();
 }
 
-bool
-Simulator::allDone() const
-{
-    return std::all_of(procs_.begin(), procs_.end(),
-                       [](const auto &p) { return p->done(); });
-}
-
 std::uint64_t
 Simulator::progressSum() const
 {
@@ -86,35 +99,164 @@ Simulator::progressSum() const
     return sum;
 }
 
+void
+Simulator::runExactCycle(bool bus_may_act)
+{
+    if (bus_may_act)
+        mem_->tick(cycle_);
+    // Rotate the processor service order so no processor systematically
+    // wins same-cycle races for locks. Blocked processors are skipped —
+    // their ticks are no-ops under lazy stall accounting — but the skip
+    // is decided at visit time: a mid-rotation wake or barrier release
+    // makes a processor runnable in this very cycle, as before.
+    const auto n = static_cast<unsigned>(procs_.size());
+    unsigned idx = static_cast<unsigned>(cycle_ % n);
+    for (unsigned i = 0; i < n; ++i) {
+        Processor &p = *procs_[idx];
+        // The reference loop ticks every live processor (blocked ones
+        // count their stall cycle eagerly); the event engine skips
+        // them — their ticks are no-ops under lazy settlement.
+        if (tick_all_ ? !p.done() : p.needsTick()) {
+            ticking_ = idx;
+            p.tick(cycle_);
+        }
+        if (++idx == n)
+            idx = 0;
+    }
+    ticking_ = kNoProc;
+    ++cycle_;
+
+    if (cycle_ - last_progress_check_ >= config_.deadlockWindow) {
+        const std::uint64_t p = progressSum();
+        if (p == last_progress_value_) {
+            std::ostringstream os;
+            os << "no progress for " << config_.deadlockWindow
+               << " cycles";
+            reportDeadlock(os.str());
+        }
+        last_progress_value_ = p;
+        last_progress_check_ = cycle_;
+    }
+}
+
 bool
 Simulator::stepCycle()
 {
     if (allDone())
         return false;
+    runExactCycle();
+    return !allDone();
+}
 
-    mem_->tick(cycle_);
-    // Rotate the processor service order so no processor systematically
-    // wins same-cycle races for locks.
-    const auto n = static_cast<unsigned>(procs_.size());
-    const unsigned start = static_cast<unsigned>(cycle_ % n);
-    for (unsigned i = 0; i < n; ++i)
-        procs_[(start + i) % n]->tick(cycle_);
-    ++cycle_;
+bool
+Simulator::stepEvent()
+{
+    if (allDone())
+        return false;
 
-    if (cycle_ - last_progress_check_ >= config_.deadlockWindow) {
-        const std::uint64_t p = progressSum();
-        if (p == last_progress_value_)
-            reportDeadlock();
-        last_progress_value_ = p;
-        last_progress_check_ = cycle_;
+    // Fast-forward across inert windows, chaining consecutive ones: a
+    // burst that ends and advances into another Instr record (or into
+    // the instruction cycle of a two-phase reference) opens a new
+    // window immediately, with no exact cycle in between. The loop
+    // drops to cycle-exact execution only when some processor's next
+    // tick can have side effects (inert == 0) or a bus completion or
+    // grant is due this very cycle.
+    // Cap on a single fast-forward window when the bus is idle. Wide
+    // enough that it never splits a real window (traces are far
+    // shorter), small enough that cycle_ + cap cannot overflow.
+    constexpr Cycle kMaxWindow = Cycle{1} << 30;
+
+    const std::size_t n = procs_.size();
+    bool bus_due = true;
+    for (;;) {
+        // The next interesting cycle: the earliest bus *completion*
+        // (fills and wakes touch processors, so it bounds the window)
+        // or the first cycle a Running processor could have a side
+        // effect. Grants touch only bus-internal queues and statistics
+        // — nothing a processor can observe before the completion they
+        // schedule — so they commute with the in-window quiet work and
+        // are folded into the gap below. Everything in between is
+        // provably inert (docs/simcore.md).
+        const Cycle bus_comp = mem_->nextCompletionCycle(cycle_);
+        if (bus_comp == cycle_)
+            break; // A completion is due this very cycle.
+        const Cycle bus_grant = mem_->nextGrantCycle(cycle_);
+        if (bus_grant == cycle_) {
+            // Grant-only cycle: tick the bus (no completion can fire —
+            // the earliest is bus_comp) and re-derive the bounds. The
+            // processors have not been serviced for this cycle yet;
+            // the window starting here covers them.
+            mem_->tick(cycle_);
+            continue;
+        }
+        Cycle target = bus_comp;
+        std::uint32_t ff_mask = 0; // Processors fastForward() advances.
+        for (std::size_t i = 0; i < n; ++i) {
+            const Processor &p = *procs_[i];
+            // The trace walk need not look past the current window end
+            // (the limit shrinks as earlier processors tighten it).
+            const Cycle limit =
+                target == kNoCycle ? kMaxWindow : target - cycle_;
+            const Cycle inert = p.inertCycles(cycle_, limit);
+            if (inert == 0) {
+                target = cycle_;
+                break;
+            }
+            if (p.needsTick())
+                ff_mask |= std::uint32_t{1} << i;
+            if (inert != kNoCycle && cycle_ + inert < target)
+                target = cycle_ + inert;
+        }
+        if (target == kNoCycle && bus_grant == kNoCycle) {
+            // Every processor is blocked and the bus is idle: nothing
+            // can ever wake anyone. The cycle loop would spin to the
+            // watchdog window and conclude the same.
+            reportDeadlock("no progress possible: every processor is "
+                           "blocked and the bus is idle");
+        }
+        if (target == cycle_) {
+            // A processor forces exactness before the next bus event:
+            // the bus provably does nothing this cycle.
+            bus_due = false;
+            break;
+        }
+        // Fold grant cycles inside the window: each grant schedules a
+        // completion (no earlier than grant + occupancy), which may
+        // tighten the window end. nextGrantCycle() advances strictly
+        // after a tick performs the grants, so this terminates; it
+        // also rescues the target == kNoCycle case (all processors
+        // blocked, grants pending): the first folded grant schedules
+        // the completion that bounds the window.
+        for (Cycle g = bus_grant; g < target;
+             g = mem_->nextGrantCycle(g)) {
+            mem_->tick(g);
+            target = std::min(target, mem_->nextCompletionCycle(g));
+        }
+        const Cycle gap = target - cycle_;
+        for (std::uint32_t m = ff_mask; m != 0; m &= m - 1) {
+            const auto i =
+                static_cast<std::size_t>(std::countr_zero(m));
+            procs_[i]->fastForward(gap, cycle_);
+        }
+        cycle_ = target;
+        // A burst that ended exactly at the window boundary may have
+        // retired the last record of every trace.
+        if (allDone())
+            return false;
     }
+    runExactCycle(bus_due);
     return !allDone();
 }
 
 SimStats
 Simulator::run()
 {
-    while (stepCycle()) {
+    if (config_.engine == SimEngine::CycleLoop) {
+        while (stepCycle()) {
+        }
+    } else {
+        while (stepEvent()) {
+        }
     }
     const Cycle done_at = cycle_;
     // Drain in-flight writebacks so bus accounting is complete. These
@@ -149,11 +291,10 @@ Simulator::run()
 }
 
 void
-Simulator::reportDeadlock() const
+Simulator::reportDeadlock(const std::string &headline) const
 {
     std::ostringstream os;
-    os << "no progress for " << config_.deadlockWindow
-       << " cycles at cycle " << cycle_ << "\n";
+    os << headline << " at cycle " << cycle_ << "\n";
     for (ProcId p = 0; p < procs_.size(); ++p) {
         os << "  proc " << p << ": " << procs_[p]->describeState()
            << " progress=" << procs_[p]->progress() << "\n";

@@ -28,6 +28,22 @@
 namespace prefsim
 {
 
+/**
+ * Simulation core selection. Both engines produce bit-identical
+ * SimStats on every input (asserted by tests/test_simcore.cc and a
+ * scripts/check.sh stage); see docs/simcore.md for the safety
+ * argument.
+ */
+enum class SimEngine : std::uint8_t
+{
+    /** Tick the bus and every processor each cycle: the reference
+     *  implementation, kept as the differential-test oracle. */
+    CycleLoop,
+    /** Compute the next cycle at which anything observable can happen
+     *  and fast-forward across the provably inert gap (default). */
+    EventDriven,
+};
+
 /** Hardware configuration of one simulation (paper §3.3 defaults). */
 struct SimConfig
 {
@@ -67,6 +83,12 @@ struct SimConfig
      */
     Cycle deadlockWindow = 2'000'000;
     /**
+     * Simulation core. Results are identical by contract, so this is
+     * deliberately excluded from the experiment cache key; CycleLoop
+     * exists as the oracle for differential tests and debugging.
+     */
+    SimEngine engine = SimEngine::EventDriven;
+    /**
      * Instrumentation backplane (not owned; must outlive the run). Null
      * — the default — leaves every component uninstrumented: no
      * registry lookups, no event recording, identical simulation.
@@ -96,6 +118,15 @@ class Simulator
     /** Single-step one cycle (testing). @return true while active. */
     bool stepCycle();
 
+    /**
+     * Single-step the event-driven core: fast-forward to the next
+     * cycle at which anything observable can happen, then execute it
+     * exactly. Advances currentCycle() by at least one; statistics are
+     * bit-identical to the equivalent stepCycle() sequence.
+     * @return true while active.
+     */
+    bool stepEvent();
+
     Cycle currentCycle() const { return cycle_; }
     const MemorySystem &memory() const { return *mem_; }
     MemorySystem &memory() { return *mem_; }
@@ -106,8 +137,20 @@ class Simulator
     }
 
   private:
-    /** True when every processor has retired its trace. */
-    bool allDone() const;
+    /** True when every processor has retired its trace (O(1): the
+     *  processors bump done_count_ as they finish). */
+    bool
+    allDone() const
+    {
+        return done_count_ == procs_.size();
+    }
+
+    /** Execute cycle_ exactly (bus tick + processor rotation), then
+     *  advance cycle_ and run the progress watchdog. Shared by both
+     *  engines. @p bus_may_act false skips the bus tick — only legal
+     *  when SplitBus::nextEventCycle() proved it a no-op this cycle
+     *  (nothing ready to complete, nothing grantable). */
+    void runExactCycle(bool bus_may_act = true);
 
     /** Zero all statistics at the end of warmup. */
     void resetStatsForWarmup();
@@ -115,7 +158,7 @@ class Simulator
     /** Sum of processor progress counters + bus grants. */
     std::uint64_t progressSum() const;
 
-    [[noreturn]] void reportDeadlock() const;
+    [[noreturn]] void reportDeadlock(const std::string &headline) const;
 
     const ParallelTrace &trace_;
     SimConfig config_;
@@ -125,6 +168,17 @@ class Simulator
     BarrierManager barriers_;
     std::vector<std::unique_ptr<Processor>> procs_;
     Cycle cycle_ = 0;
+    /** Processors that have retired their whole trace (bumped by the
+     *  processors themselves via Processor::setDoneCounter). */
+    std::size_t done_count_ = 0;
+    /** CycleLoop: service every live processor each cycle (blocked
+     *  ones count stalls eagerly). EventDriven: skip blocked
+     *  processors; their stalls settle lazily at wake. */
+    bool tick_all_ = false;
+    /** The processor currently being ticked in the service rotation
+     *  (barrier releases need the releaser's slot to settle lazily
+     *  accounted barrier waits; see Processor::barrierRelease). */
+    ProcId ticking_ = kNoProc;
     /** This run's trace session; committed to the tracer by run(). */
     std::unique_ptr<obs::TraceBuffer> trace_buf_;
 

@@ -1,0 +1,446 @@
+/**
+ * @file
+ * Differential tests for the two simulation cores.
+ *
+ * The event-driven engine (SimEngine::EventDriven) must produce
+ * statistics *bit-identical* to the reference cycle loop
+ * (SimEngine::CycleLoop) on every input — that is its contract (see
+ * docs/simcore.md). These tests enforce it two ways:
+ *
+ *  - a workload matrix: every generator × {NP, PREF, PWS}, plus
+ *    configuration variants that exercise the folding paths the
+ *    generators alone would miss (multiple data channels, write-update
+ *    coherence, victim cache, non-snooping prefetch data buffer);
+ *  - hand-built traces that pin the burst-boundary cases where the
+ *    fast-forward window logic could plausibly go wrong: wakes and
+ *    barrier releases landing mid-burst, the warmup statistics reset,
+ *    spin-lock windows, prefetch-buffer back-pressure, empty traces.
+ *
+ * The oracle counts blocked cycles eagerly (one bucket increment per
+ * tick) while the event engine settles them arithmetically at wake, so
+ * equality here genuinely checks the lazy accounting rather than
+ * comparing an implementation against itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "mem/split_bus.hh"
+#include "prefetch/inserter.hh"
+#include "sim/simulator.hh"
+#include "trace/workload.hh"
+
+namespace prefsim
+{
+namespace
+{
+
+/**
+ * Serialize every statistics field to text. Two runs agree bit-for-bit
+ * iff their fingerprints compare equal, and a mismatch's first
+ * differing line names the field that diverged.
+ */
+std::string
+fingerprint(const SimStats &s)
+{
+    std::ostringstream os;
+    os << "cycles=" << s.cycles << '\n';
+    os << "bus.busyCycles=" << s.bus.busyCycles << '\n';
+    for (int k = 0; k < 5; ++k)
+        os << "bus.opCount[" << k << "]=" << s.bus.opCount[k] << '\n';
+    os << "bus.queueWaitDemand=" << s.bus.queueWaitDemand << '\n';
+    os << "bus.queueWaitPrefetch=" << s.bus.queueWaitPrefetch << '\n';
+    os << "bus.grantsDemand=" << s.bus.grantsDemand << '\n';
+    os << "bus.grantsPrefetch=" << s.bus.grantsPrefetch << '\n';
+    for (std::size_t p = 0; p < s.procs.size(); ++p) {
+        const ProcStats &ps = s.procs[p];
+        os << "proc" << p << ".busy=" << ps.busy
+           << " stallDemand=" << ps.stallDemand
+           << " stallUpgrade=" << ps.stallUpgrade
+           << " stallPrefetchQueue=" << ps.stallPrefetchQueue
+           << " spinLock=" << ps.spinLock
+           << " waitBarrier=" << ps.waitBarrier
+           << " finishedAt=" << ps.finishedAt << '\n';
+        os << "proc" << p << ".demandRefs=" << ps.demandRefs
+           << " reads=" << ps.reads << " writes=" << ps.writes
+           << " prefetchesExecuted=" << ps.prefetchesExecuted
+           << " prefetchMisses=" << ps.prefetchMisses
+           << " droppedResident=" << ps.prefetchesDroppedResident
+           << " droppedDuplicate=" << ps.prefetchesDroppedDuplicate
+           << " upgradesIssued=" << ps.upgradesIssued
+           << " victimHits=" << ps.victimHits
+           << " prefetchBufferHits=" << ps.prefetchBufferHits
+           << " bufferProtectionEvents=" << ps.bufferProtectionEvents
+           << '\n';
+        const MissBreakdown &m = ps.misses;
+        os << "proc" << p
+           << ".misses=" << m.nonSharingNotPrefetched << ','
+           << m.nonSharingPrefetched << ',' << m.invalNotPrefetched << ','
+           << m.invalPrefetched << ',' << m.prefetchInProgress << ','
+           << m.falseSharing << '\n';
+    }
+    return os.str();
+}
+
+/** Run @p trace under both engines and require identical statistics. */
+void
+expectEnginesAgree(const ParallelTrace &trace, SimConfig cfg,
+                   const std::string &what)
+{
+    cfg.engine = SimEngine::CycleLoop;
+    const SimStats oracle = simulate(trace, cfg);
+    cfg.engine = SimEngine::EventDriven;
+    const SimStats event = simulate(trace, cfg);
+    EXPECT_EQ(fingerprint(oracle), fingerprint(event)) << what;
+}
+
+/* ------------------------------------------------------------------ */
+/* Workload matrix                                                     */
+/* ------------------------------------------------------------------ */
+
+/** Small but representative generator runs: every workload's sharing
+ *  pattern, every prefetch strategy of the paper's main results. */
+class EngineDifferential
+    : public ::testing::TestWithParam<std::tuple<WorkloadKind, Strategy>>
+{
+};
+
+TEST_P(EngineDifferential, StatsBitIdentical)
+{
+    const auto [kind, strategy] = GetParam();
+    WorkloadParams p;
+    p.numProcs = 4;
+    p.refsPerProc = 4000;
+    p.seed = 2026;
+    const ParallelTrace trace = generateWorkload(kind, p);
+    const AnnotatedTrace ann =
+        annotateTrace(trace, strategy, CacheGeometry::paperDefault());
+
+    SimConfig cfg;
+    cfg.timing.dataTransfer = 8;
+    expectEnginesAgree(ann.trace, cfg,
+                       workloadName(kind) + "/" +
+                           std::to_string(static_cast<int>(strategy)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, EngineDifferential,
+    ::testing::Combine(::testing::Values(WorkloadKind::Topopt,
+                                         WorkloadKind::Pverify,
+                                         WorkloadKind::LocusRoute,
+                                         WorkloadKind::Mp3d,
+                                         WorkloadKind::Water),
+                       ::testing::Values(Strategy::NP, Strategy::PREF,
+                                         Strategy::PWS)));
+
+/** Configuration variants that reach folding paths the default config
+ *  does not: grant folding with channel gating (dataChannels > 1),
+ *  write-update downgrades, victim-cache swaps, and the non-snooping
+ *  prefetch data buffer (whose remote kills must invalidate the
+ *  quiet-drop memo — a bug this exact test caught). */
+TEST(EngineDifferentialConfigs, Variants)
+{
+    WorkloadParams p;
+    p.numProcs = 4;
+    p.refsPerProc = 4000;
+    p.seed = 2026;
+
+    struct Variant
+    {
+        const char *name;
+        WorkloadKind kind;
+        Strategy strategy;
+        void (*tweak)(SimConfig &);
+    };
+    const Variant variants[] = {
+        {"water-pws-2ch", WorkloadKind::Water, Strategy::PWS,
+         [](SimConfig &c) { c.timing.dataChannels = 2; }},
+        {"mp3d-pref-update", WorkloadKind::Mp3d, Strategy::PREF,
+         [](SimConfig &c) { c.protocol = CoherenceProtocol::WriteUpdate; }},
+        {"mp3d-pws-victim", WorkloadKind::Mp3d, Strategy::PWS,
+         [](SimConfig &c) { c.victimEntries = 4; }},
+        {"water-pws-pdb", WorkloadKind::Water, Strategy::PWS,
+         [](SimConfig &c) { c.prefetchDataBufferEntries = 8; }},
+        {"pverify-pws-pdb", WorkloadKind::Pverify, Strategy::PWS,
+         [](SimConfig &c) { c.prefetchDataBufferEntries = 8; }},
+        {"topopt-pref-slowbus", WorkloadKind::Topopt, Strategy::PREF,
+         [](SimConfig &c) { c.timing.dataTransfer = 32; }},
+    };
+    for (const Variant &v : variants) {
+        const ParallelTrace trace = generateWorkload(v.kind, p);
+        const AnnotatedTrace ann = annotateTrace(
+            trace, v.strategy, CacheGeometry::paperDefault());
+        SimConfig cfg;
+        cfg.timing.dataTransfer = 8;
+        v.tweak(cfg);
+        expectEnginesAgree(ann.trace, cfg, v.name);
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Burst-boundary hand traces                                          */
+/* ------------------------------------------------------------------ */
+
+SimConfig
+plainConfig()
+{
+    SimConfig cfg;
+    cfg.timing.dataTransfer = 8;
+    cfg.warmupEpisodes = 0;
+    return cfg;
+}
+
+ParallelTrace
+twoProc(Trace a, Trace b, unsigned locks = 0, unsigned barriers = 0)
+{
+    ParallelTrace pt;
+    pt.name = "hand";
+    pt.numLocks = locks;
+    pt.numBarriers = barriers;
+    pt.procs.push_back(std::move(a));
+    pt.procs.push_back(std::move(b));
+    return pt;
+}
+
+/** A fill completion (wake) lands in the middle of another processor's
+ *  instruction burst: the fast-forward window must split there. */
+TEST(BurstBoundary, WakeMidBurst)
+{
+    Trace a;
+    a.append(TraceRecord::read(0x1000)); // Cold miss: ~totalLatency stall.
+    a.append(TraceRecord::write(0x1000));
+    a.appendInstrs(10);
+    Trace b;
+    b.appendInstrs(400); // Spans a's entire miss + wake.
+    b.append(TraceRecord::read(0x1000)); // Then shares the line.
+    expectEnginesAgree(twoProc(std::move(a), std::move(b)), plainConfig(),
+                       "wake-mid-burst");
+}
+
+/** The last barrier arriver releases the waiters while a third party's
+ *  burst is in flight; the waiter's rotation slot relative to the
+ *  releaser decides whether the release cycle counts as waited. Both
+ *  orderings are exercised (proc 0 releases proc 1, then proc 1's
+ *  later arrival releases proc 0). */
+TEST(BurstBoundary, BarrierReleaseMidBurst)
+{
+    Trace a;
+    a.appendInstrs(10);
+    a.append(TraceRecord::barrier(0));
+    a.appendInstrs(500);
+    a.append(TraceRecord::barrier(1));
+    Trace b;
+    b.appendInstrs(321); // Arrives at barrier 0 mid a's wait.
+    b.append(TraceRecord::barrier(0));
+    b.appendInstrs(3);
+    b.append(TraceRecord::barrier(1)); // Waits for a's 500-burst.
+    ParallelTrace pt =
+        twoProc(std::move(a), std::move(b), 0, 2);
+    expectEnginesAgree(pt, plainConfig(), "barrier-release-mid-burst");
+}
+
+/** The warmup statistics reset fires at a barrier in the middle of
+ *  long bursts; the post-reset counters must match exactly. */
+TEST(BurstBoundary, WarmupResetMidBurst)
+{
+    Trace a;
+    a.appendInstrs(50);
+    for (unsigned i = 0; i < 6; ++i)
+        a.append(TraceRecord::read(0x2000 + Addr{i} * 32));
+    a.append(TraceRecord::barrier(0));
+    a.appendInstrs(700);
+    for (unsigned i = 0; i < 6; ++i)
+        a.append(TraceRecord::write(0x2000 + Addr{i} * 32));
+    Trace b;
+    b.appendInstrs(200);
+    b.append(TraceRecord::barrier(0));
+    b.appendInstrs(900);
+    b.append(TraceRecord::read(0x2004));
+    SimConfig cfg = plainConfig();
+    cfg.warmupEpisodes = 1; // Reset at barrier 0.
+    expectEnginesAgree(twoProc(std::move(a), std::move(b), 0, 1), cfg,
+                       "warmup-reset-mid-burst");
+}
+
+/** A spin window: the lock holder computes for a long burst while the
+ *  other processor retries every cycle; the release must be picked up
+ *  at the exact cycle in both engines (including the rotation-order
+ *  race for the freshly freed lock). */
+TEST(BurstBoundary, SpinLockGap)
+{
+    Trace a;
+    a.append(TraceRecord::lockAcquire(0));
+    a.appendInstrs(300);
+    a.append(TraceRecord::lockRelease(0));
+    a.appendInstrs(5);
+    Trace b;
+    b.appendInstrs(2); // Arrives at the lock while a holds it.
+    b.append(TraceRecord::lockAcquire(0));
+    b.append(TraceRecord::write(0x3000));
+    b.append(TraceRecord::lockRelease(0));
+    expectEnginesAgree(twoProc(std::move(a), std::move(b), 1, 0),
+                       plainConfig(), "spinlock-gap");
+}
+
+/** Prefetch back-pressure: more outstanding prefetches than MSHRs force
+ *  StallPrefetch, whose per-cycle reissues the event engine bulk-adds. */
+TEST(BurstBoundary, PrefetchBufferFull)
+{
+    Trace a;
+    for (unsigned i = 0; i < 24; ++i)
+        a.append(TraceRecord::prefetch(0x8000 + Addr{i} * 32));
+    a.appendInstrs(300);
+    for (unsigned i = 0; i < 24; ++i)
+        a.append(TraceRecord::read(0x8000 + Addr{i} * 32));
+    Trace b;
+    b.appendInstrs(40);
+    b.append(TraceRecord::read(0x8000));
+    expectEnginesAgree(twoProc(std::move(a), std::move(b)), plainConfig(),
+                       "prefetch-buffer-full");
+}
+
+/** Degenerate shapes: an empty trace (Done at construction) beside a
+ *  live one, and a single-processor pure-instruction run whose cycle
+ *  count is exactly its instruction count. */
+TEST(BurstBoundary, EmptyAndPureInstr)
+{
+    Trace a;
+    a.appendInstrs(123);
+    a.append(TraceRecord::read(0x4000));
+    expectEnginesAgree(twoProc(std::move(a), Trace{}), plainConfig(),
+                       "empty-beside-live");
+
+    ParallelTrace solo;
+    solo.name = "solo";
+    Trace s;
+    s.appendInstrs(1000);
+    solo.procs.push_back(std::move(s));
+    SimConfig cfg = plainConfig();
+    cfg.engine = SimEngine::EventDriven;
+    const SimStats stats = simulate(solo, cfg);
+    EXPECT_EQ(stats.cycles, 1000u);
+    EXPECT_EQ(stats.procs[0].busy, 1000u);
+    expectEnginesAgree(solo, plainConfig(), "single-proc-pure-instr");
+}
+
+/** stepEvent() must always make progress and never overshoot: each call
+ *  advances the clock by at least one cycle, and the run ends at the
+ *  same final cycle as the reference loop. */
+TEST(BurstBoundary, StepEventMonotonic)
+{
+    WorkloadParams p;
+    p.numProcs = 4;
+    p.refsPerProc = 1000;
+    p.seed = 7;
+    const ParallelTrace trace = generateWorkload(WorkloadKind::Water, p);
+
+    SimConfig cfg;
+    cfg.engine = SimEngine::CycleLoop;
+    Simulator oracle(trace, cfg);
+    while (oracle.stepCycle()) {
+    }
+
+    cfg.engine = SimEngine::EventDriven;
+    Simulator event(trace, cfg);
+    Cycle prev = event.currentCycle();
+    std::uint64_t steps = 0;
+    while (event.stepEvent()) {
+        ASSERT_GT(event.currentCycle(), prev);
+        prev = event.currentCycle();
+        ++steps;
+    }
+    EXPECT_EQ(event.currentCycle(), oracle.currentCycle());
+    // The whole point: far fewer exact steps than simulated cycles.
+    EXPECT_LT(steps, static_cast<std::uint64_t>(event.currentCycle()));
+}
+
+/* ------------------------------------------------------------------ */
+/* SplitBus event queries                                              */
+/* ------------------------------------------------------------------ */
+
+struct BusProbe
+{
+    explicit BusProbe(const BusTiming &timing) : bus(timing, 4)
+    {
+        bus.setCompletion([this](const Transaction &, Cycle) {
+            ++completions;
+        });
+    }
+
+    Transaction
+    make(BusOpKind kind, ProcId proc, Addr line)
+    {
+        Transaction t;
+        t.kind = kind;
+        t.requester = proc;
+        t.lineBase = line;
+        t.issuedAt = cycle;
+        return t;
+    }
+
+    SplitBus bus;
+    Cycle cycle = 0;
+    unsigned completions = 0;
+};
+
+TEST(BusEventQueries, IdleBusHasNoEvents)
+{
+    BusProbe h(BusTiming{100, 8, 2});
+    EXPECT_EQ(h.bus.nextCompletionCycle(0), kNoCycle);
+    EXPECT_EQ(h.bus.nextGrantCycle(0), kNoCycle);
+    EXPECT_EQ(h.bus.nextEventCycle(0), kNoCycle);
+}
+
+TEST(BusEventQueries, DataOpGrantThenCompletion)
+{
+    const BusTiming t{100, 8, 2};
+    BusProbe h(t);
+    h.bus.request(h.make(BusOpKind::ReadShared, 0, 0x1000), 0);
+    // The memory phase hides totalLatency - dataTransfer cycles; the
+    // grant becomes possible when it elapses.
+    EXPECT_EQ(h.bus.nextGrantCycle(0), t.memoryPhase());
+    EXPECT_EQ(h.bus.nextCompletionCycle(0), kNoCycle); // Nothing active.
+    // `now` past the ready cycle clamps up, never back.
+    EXPECT_EQ(h.bus.nextGrantCycle(t.memoryPhase() + 5),
+              t.memoryPhase() + 5);
+
+    h.bus.tick(t.memoryPhase()); // Grant: occupies the data bus.
+    EXPECT_EQ(h.bus.nextGrantCycle(t.memoryPhase()), kNoCycle);
+    EXPECT_EQ(h.bus.nextCompletionCycle(t.memoryPhase()),
+              t.memoryPhase() + t.dataTransfer);
+
+    h.bus.tick(t.memoryPhase() + t.dataTransfer);
+    EXPECT_EQ(h.completions, 1u);
+    EXPECT_EQ(h.bus.nextEventCycle(t.memoryPhase() + t.dataTransfer),
+              kNoCycle);
+}
+
+TEST(BusEventQueries, ChannelGatingBlocksGrants)
+{
+    const BusTiming t{100, 8, 2}; // One data channel.
+    BusProbe h(t);
+    h.bus.request(h.make(BusOpKind::ReadShared, 0, 0x1000), 0);
+    h.bus.request(h.make(BusOpKind::ReadShared, 1, 0x2000), 0);
+    h.bus.tick(t.memoryPhase()); // First grant fills the only channel.
+    // The second op is ready but cannot be granted: the next event is
+    // the active transfer's completion, which frees the channel.
+    EXPECT_EQ(h.bus.nextGrantCycle(t.memoryPhase() + 1), kNoCycle);
+    EXPECT_EQ(h.bus.nextEventCycle(t.memoryPhase() + 1),
+              t.memoryPhase() + t.dataTransfer);
+}
+
+TEST(BusEventQueries, AddressClassCompletesWithoutGrant)
+{
+    const BusTiming t{100, 8, 2};
+    BusProbe h(t);
+    h.bus.request(h.make(BusOpKind::Upgrade, 2, 0x3000), 10);
+    // Address-class ops never wait for a data channel: they complete
+    // after the (short) address-bus occupancy.
+    EXPECT_EQ(h.bus.nextCompletionCycle(10), 10 + t.upgradeOccupancy);
+    EXPECT_EQ(h.bus.nextGrantCycle(10), kNoCycle);
+}
+
+} // namespace
+} // namespace prefsim

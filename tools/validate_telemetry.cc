@@ -118,7 +118,8 @@ checkMetrics(const std::string &text)
     const JsonValue &sweep = need(*doc, "sweep", "document");
     for (const char *key :
          {"traces_generated", "annotations_run", "simulations_run",
-          "cache_hits", "cache_stores", "cache_rejected", "trace_nanos",
+          "cache_hits", "cache_stores", "cache_rejected",
+          "simulated_cycles", "simulated_refs", "trace_nanos",
           "annotate_nanos", "simulate_nanos"}) {
         need(sweep, key, "sweep");
     }
