@@ -16,6 +16,11 @@
  *   --metrics-out F  write sweep telemetry + simulator metrics JSON to F
  *   --trace-out F    write a Chrome trace-event JSON document to F
  *                    (needs a -DPREFSIM_TRACING=ON build to carry events)
+ *   --sample-interval N  capture an interval time-series sample every N
+ *                    simulated cycles (0 = off)
+ *   --timeseries-out F  write the prefsim-timeseries-v1 JSON document
+ *                    to F (defaults --sample-interval to 10000 when not
+ *                    given explicitly)
  *
  * parseBenchArgs handles the full set in a single pass, so flags can be
  * given in any order; makeEngine turns the result into a SweepEngine.
@@ -51,6 +56,8 @@ struct BenchOptions
     std::string metricsOut;
     /** Chrome trace-event JSON destination (empty = none). */
     std::string traceOut;
+    /** Interval time-series JSON destination (empty = none). */
+    std::string timeseriesOut;
 };
 
 /**
@@ -122,6 +129,10 @@ parseBenchArgs(int argc, char **argv,
             opts.traceOut = next();
             opts.sweep.tracing = true;
             opts.sweep.metrics = true;
+        } else if (arg == "--sample-interval") {
+            opts.sweep.sampleInterval = nextUint();
+        } else if (arg == "--timeseries-out") {
+            opts.timeseriesOut = next();
         } else if (arg == "--help" || arg == "-h") {
             std::cout
                 << "usage: " << (argc > 0 ? argv[0] : "bench")
@@ -145,7 +156,11 @@ parseBenchArgs(int argc, char **argv,
                    "  --metrics-out F  write sweep telemetry + metrics "
                    "JSON to F\n"
                    "  --trace-out F    write Chrome trace-event JSON to F "
-                   "(PREFSIM_TRACING builds)\n";
+                   "(PREFSIM_TRACING builds)\n"
+                   "  --sample-interval N  interval time-series sample "
+                   "every N cycles (0 = off)\n"
+                   "  --timeseries-out F  write prefsim-timeseries-v1 "
+                   "JSON to F\n";
             std::exit(0);
         } else if (positional && arg.rfind("--", 0) != 0) {
             positional->push_back(arg);
@@ -154,6 +169,10 @@ parseBenchArgs(int argc, char **argv,
                           " (try ", argv[0], " --help)");
         }
     }
+    // Asking for the time-series file implies sampling; pick a sensible
+    // default period when none was given explicitly.
+    if (!opts.timeseriesOut.empty() && opts.sweep.sampleInterval == 0)
+        opts.sweep.sampleInterval = 10000;
     return opts;
 }
 
@@ -181,6 +200,24 @@ emitBenchTelemetry(const BenchOptions &opts, const SweepEngine &engine)
         } else {
             engine.writeTelemetryJson(out);
             prefsim_inform("wrote metrics to ", opts.metricsOut);
+        }
+    }
+    if (!opts.timeseriesOut.empty()) {
+        const ObsContext *obs = engine.obs();
+        if (obs == nullptr || obs->timeseries.empty()) {
+            prefsim_warn("--timeseries-out: no series recorded (cached "
+                         "results skip simulation; rerun with --no-cache "
+                         "or a fresh --cache-dir for full coverage)");
+        }
+        std::ofstream out(opts.timeseriesOut,
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            prefsim_warn("cannot write time-series file ",
+                         opts.timeseriesOut);
+        } else {
+            engine.writeTimeseriesJson(out);
+            prefsim_inform("wrote interval time series to ",
+                           opts.timeseriesOut);
         }
     }
     if (!opts.traceOut.empty()) {

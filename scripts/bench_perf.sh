@@ -34,20 +34,30 @@ if [ ! -x "$BENCH" ]; then
 fi
 
 TMP=$(mktemp -d)
-trap 'rm -rf "$TMP"' EXIT
+trap 'rm -rf "$TMP" "$OUT.tmp"' EXIT
 
 # One benchmark run: wall-clock it, pull the simulation volume out of
 # the sweep telemetry, and append a JSON fragment for the report.
+# Fails fast — a crashed run, a missing metrics file or zero parsed
+# simulation volume aborts the script before a partial or misleading
+# report can be written (the report only moves into place at the end).
 # $1 = label, $2 = engine, $3 = procs
 run_one() {
     label=$1
     engine=$2
     procs=$3
     start=$(date +%s.%N)
-    "$BENCH" --refs "$REFS" --procs "$procs" --engine "$engine" \
+    if ! "$BENCH" --refs "$REFS" --procs "$procs" --engine "$engine" \
         --no-cache --quiet --metrics-out "$TMP/$label.metrics.json" \
-        > /dev/null
+        > /dev/null; then
+        echo "error: $label run crashed (exit $?)" >&2
+        exit 1
+    fi
     end=$(date +%s.%N)
+    if [ ! -s "$TMP/$label.metrics.json" ]; then
+        echo "error: $label run wrote no metrics file" >&2
+        exit 1
+    fi
     # grep -o keeps this POSIX-sh + awk only; the telemetry writer
     # emits compact one-line JSON.
     cycles=$(grep -o '"simulated_cycles":[0-9]*' "$TMP/$label.metrics.json" \
@@ -56,6 +66,14 @@ run_one() {
         | cut -d: -f2)
     simns=$(grep -o '"simulate_nanos":[0-9]*' "$TMP/$label.metrics.json" \
         | cut -d: -f2)
+    for field in "cycles:$cycles" "refs:$refs" "simulate_nanos:$simns"; do
+        case "${field#*:}" in
+            ''|0)
+                echo "error: $label metrics missing ${field%%:*}" \
+                     "(truncated telemetry?)" >&2
+                exit 1 ;;
+        esac
+    done
     awk -v l="$label" -v e="$engine" -v p="$procs" -v s="$start" \
         -v t="$end" -v c="$cycles" -v r="$refs" -v n="$simns" 'BEGIN {
         w = t - s
@@ -91,7 +109,10 @@ run_one micro3_cycle cycle 3
         | awk '{ printf "\"speedup_fig2_wall\":%.2f,", $2 / $1
                  printf "\"speedup_micro3_wall\":%.2f", $4 / $3 }'
     printf '}\n'
-} > "$OUT"
+} > "$OUT.tmp"
 
+# Atomic publish: $OUT never holds a partial document, even if a run
+# above aborted the script.
+mv "$OUT.tmp" "$OUT"
 echo "report: $OUT"
 awk '{ print }' "$OUT"

@@ -3,8 +3,10 @@
 #
 #   1. plain build + tests + bench/example smoke + determinism +
 #      the engine differential (event core vs. reference cycle loop,
-#      byte-compared) + simulation-core throughput smoke + telemetry
-#      validation;
+#      byte-compared) + simulation-core throughput smoke + the
+#      perf-regression gate (fresh bench_perf.sh vs the checked-in
+#      BENCH_simcore.json, via prefsim_report --compare) + telemetry
+#      and interval time-series validation;
 #   2. the verification layer: exhaustive protocol model checking
 #      (2- and 3-cache), seeded-mutation detection, and the trace
 #      linter over all five workload generators;
@@ -98,6 +100,29 @@ fi
 grep -q '"schema":"prefsim-bench-simcore-v1"' "$CACHE/bench_smoke.json"
 echo "ok: simcore smoke in ${SMOKE_ELAPSED}s (budget 300s)"
 
+stage "perf-regression gate"
+# A fresh full-scale bench_perf.sh run diffed against the checked-in
+# baseline. Short runs are not comparable (throughput at reduced refs
+# sits 15-25 % below full scale), so this runs at the baseline's own
+# refs_per_proc; the gate is on sim-only throughput with the shared
+# thresholds — warn at 2 %, fail at 10 % (wide enough to absorb
+# same-machine timing noise). After an intentional performance change
+# or a hardware move, regenerate the baseline:
+#   scripts/bench_perf.sh && git add BENCH_simcore.json
+BASE_REFS=$(grep -o '"refs_per_proc":[0-9]*' BENCH_simcore.json \
+    | cut -d: -f2)
+GATE_START=$(date +%s)
+scripts/bench_perf.sh --refs "$BASE_REFS" \
+    --out "$CACHE/bench_fresh.json" --build "$BUILD"
+GATE_ELAPSED=$(($(date +%s) - GATE_START))
+if [ "$GATE_ELAPSED" -gt 600 ]; then
+    echo "FAIL: perf gate took ${GATE_ELAPSED}s (budget 600s)" >&2
+    exit 1
+fi
+"$BUILD"/tools/prefsim_report --compare BENCH_simcore.json \
+    "$CACHE/bench_fresh.json" --warn 0.02 --fail 0.10
+echo "ok: perf gate in ${GATE_ELAPSED}s (budget 600s)"
+
 stage "telemetry validation"
 # --metrics-out emits strict JSON in the default build too; the
 # validator must agree with the lint/verify tools on exit codes and
@@ -108,6 +133,23 @@ stage "telemetry validation"
 "$BUILD"/tools/validate_telemetry --json "$CACHE/metrics.json" \
     | grep -q '"schema":"prefsim-findings-v1"'
 echo "ok: telemetry JSON validates (default build)"
+
+stage "timeseries validation"
+# Interval sampling over a real sweep. Cached results skip simulation
+# (and therefore record no series), so --no-cache forces every run to
+# sample; the validator checks the prefsim-timeseries-v1 shape and the
+# windowing invariants (monotone cycles, windows tiling the run).
+TS_START=$(date +%s)
+"$BUILD"/bench/bench_fig2_exec_time --refs 3000 --procs 8 --quiet \
+    --jobs "$JOBS" --no-cache --sample-interval 977 \
+    --timeseries-out "$CACHE/timeseries.json" > /dev/null
+"$BUILD"/tools/validate_telemetry "$CACHE/timeseries.json"
+TS_ELAPSED=$(($(date +%s) - TS_START))
+if [ "$TS_ELAPSED" -gt 300 ]; then
+    echo "FAIL: timeseries stage took ${TS_ELAPSED}s (budget 300s)" >&2
+    exit 1
+fi
+echo "ok: interval time series validates in ${TS_ELAPSED}s (budget 300s)"
 
 # --- the verification layer -------------------------------------------
 stage "protocol model check (2 caches)"

@@ -172,6 +172,71 @@ readMisses(const JsonValue &obj, MissBreakdown &m)
            readU64(obj, "falseSharing", m.falseSharing);
 }
 
+/** Parse the "sim" object of a result document into @p s. */
+bool
+parseSimStats(const JsonValue &sim, SimStats &s)
+{
+    if (!sim.isObject())
+        return false;
+    if (!readU64(sim, "cycles", s.cycles))
+        return false;
+
+    const JsonValue *bus = sim.find("bus");
+    if (!bus || !bus->isObject())
+        return false;
+    if (!readU64(*bus, "busyCycles", s.bus.busyCycles) ||
+        !readU64(*bus, "queueWaitDemand", s.bus.queueWaitDemand) ||
+        !readU64(*bus, "queueWaitPrefetch", s.bus.queueWaitPrefetch) ||
+        !readU64(*bus, "grantsDemand", s.bus.grantsDemand) ||
+        !readU64(*bus, "grantsPrefetch", s.bus.grantsPrefetch))
+        return false;
+    const JsonValue *ops = bus->find("ops");
+    if (!ops || !ops->isArray() || ops->array().size() != 5)
+        return false;
+    for (std::size_t i = 0; i < 5; ++i) {
+        if (!ops->array()[i].isNumber())
+            return false;
+        s.bus.opCount[i] = ops->array()[i].asU64();
+    }
+
+    const JsonValue *procs = sim.find("procs");
+    if (!procs || !procs->isArray())
+        return false;
+    s.procs.reserve(procs->array().size());
+    for (const JsonValue &pv : procs->array()) {
+        if (!pv.isObject())
+            return false;
+        ProcStats p;
+        const JsonValue *misses = pv.find("misses");
+        if (!readU64(pv, "busy", p.busy) ||
+            !readU64(pv, "stallDemand", p.stallDemand) ||
+            !readU64(pv, "stallUpgrade", p.stallUpgrade) ||
+            !readU64(pv, "stallPrefetchQueue", p.stallPrefetchQueue) ||
+            !readU64(pv, "spinLock", p.spinLock) ||
+            !readU64(pv, "waitBarrier", p.waitBarrier) ||
+            !readU64(pv, "demandRefs", p.demandRefs) ||
+            !readU64(pv, "reads", p.reads) ||
+            !readU64(pv, "writes", p.writes) ||
+            !readU64(pv, "prefetchesExecuted", p.prefetchesExecuted) ||
+            !readU64(pv, "prefetchMisses", p.prefetchMisses) ||
+            !readU64(pv, "prefetchesDroppedResident",
+                     p.prefetchesDroppedResident) ||
+            !readU64(pv, "prefetchesDroppedDuplicate",
+                     p.prefetchesDroppedDuplicate) ||
+            !readU64(pv, "upgradesIssued", p.upgradesIssued) ||
+            !readU64(pv, "victimHits", p.victimHits) ||
+            !readU64(pv, "prefetchBufferHits", p.prefetchBufferHits) ||
+            !readU64(pv, "bufferProtectionEvents",
+                     p.bufferProtectionEvents) ||
+            !readU64(pv, "finishedAt", p.finishedAt) ||
+            !misses || !misses->isObject() ||
+            !readMisses(*misses, p.misses))
+            return false;
+        s.procs.push_back(p);
+    }
+    return true;
+}
+
 } // namespace
 
 void
@@ -276,66 +341,28 @@ readResultJson(const std::string &text, const ExperimentSpec &spec,
         return std::nullopt;
 
     const JsonValue *sim = doc->find("sim");
-    if (!sim || !sim->isObject())
+    if (!sim || !parseSimStats(*sim, result.sim))
         return std::nullopt;
-    SimStats &s = result.sim;
-    if (!readU64(*sim, "cycles", s.cycles))
-        return std::nullopt;
-
-    const JsonValue *bus = sim->find("bus");
-    if (!bus || !bus->isObject())
-        return std::nullopt;
-    if (!readU64(*bus, "busyCycles", s.bus.busyCycles) ||
-        !readU64(*bus, "queueWaitDemand", s.bus.queueWaitDemand) ||
-        !readU64(*bus, "queueWaitPrefetch", s.bus.queueWaitPrefetch) ||
-        !readU64(*bus, "grantsDemand", s.bus.grantsDemand) ||
-        !readU64(*bus, "grantsPrefetch", s.bus.grantsPrefetch))
-        return std::nullopt;
-    const JsonValue *ops = bus->find("ops");
-    if (!ops || !ops->isArray() || ops->array().size() != 5)
-        return std::nullopt;
-    for (std::size_t i = 0; i < 5; ++i) {
-        if (!ops->array()[i].isNumber())
-            return std::nullopt;
-        s.bus.opCount[i] = ops->array()[i].asU64();
-    }
-
-    const JsonValue *procs = sim->find("procs");
-    if (!procs || !procs->isArray())
-        return std::nullopt;
-    s.procs.reserve(procs->array().size());
-    for (const JsonValue &pv : procs->array()) {
-        if (!pv.isObject())
-            return std::nullopt;
-        ProcStats p;
-        const JsonValue *misses = pv.find("misses");
-        if (!readU64(pv, "busy", p.busy) ||
-            !readU64(pv, "stallDemand", p.stallDemand) ||
-            !readU64(pv, "stallUpgrade", p.stallUpgrade) ||
-            !readU64(pv, "stallPrefetchQueue", p.stallPrefetchQueue) ||
-            !readU64(pv, "spinLock", p.spinLock) ||
-            !readU64(pv, "waitBarrier", p.waitBarrier) ||
-            !readU64(pv, "demandRefs", p.demandRefs) ||
-            !readU64(pv, "reads", p.reads) ||
-            !readU64(pv, "writes", p.writes) ||
-            !readU64(pv, "prefetchesExecuted", p.prefetchesExecuted) ||
-            !readU64(pv, "prefetchMisses", p.prefetchMisses) ||
-            !readU64(pv, "prefetchesDroppedResident",
-                     p.prefetchesDroppedResident) ||
-            !readU64(pv, "prefetchesDroppedDuplicate",
-                     p.prefetchesDroppedDuplicate) ||
-            !readU64(pv, "upgradesIssued", p.upgradesIssued) ||
-            !readU64(pv, "victimHits", p.victimHits) ||
-            !readU64(pv, "prefetchBufferHits", p.prefetchBufferHits) ||
-            !readU64(pv, "bufferProtectionEvents",
-                     p.bufferProtectionEvents) ||
-            !readU64(pv, "finishedAt", p.finishedAt) ||
-            !misses || !misses->isObject() ||
-            !readMisses(*misses, p.misses))
-            return std::nullopt;
-        s.procs.push_back(p);
-    }
     return result;
+}
+
+std::optional<std::pair<std::string, SimStats>>
+readResultSimJson(const std::string &text)
+{
+    const std::optional<JsonValue> doc = parseJson(text);
+    if (!doc || !doc->isObject())
+        return std::nullopt;
+    const JsonValue *format = doc->find("format");
+    if (!format || !format->isString() || format->asString() != kFormatTag)
+        return std::nullopt;
+    const JsonValue *label = doc->find("label");
+    if (!label || !label->isString())
+        return std::nullopt;
+    const JsonValue *sim = doc->find("sim");
+    SimStats s;
+    if (!sim || !parseSimStats(*sim, s))
+        return std::nullopt;
+    return std::make_pair(label->asString(), std::move(s));
 }
 
 } // namespace prefsim

@@ -36,7 +36,8 @@ SweepEngine::SweepEngine(WorkloadParams params, CacheGeometry geometry,
                          SweepOptions options)
     : params_(params), geometry_(geometry), options_(std::move(options))
 {
-    if (options_.metrics || options_.tracing) {
+    if (options_.metrics || options_.tracing ||
+        options_.sampleInterval > 0) {
         obs_ = std::make_unique<ObsContext>();
         obs_->tracer.setEnabled(options_.tracing);
     }
@@ -200,6 +201,7 @@ SweepEngine::executeBatch(const std::vector<ExperimentSpec> &specs)
         if (obs_) {
             cfg.obs = obs_.get();
             cfg.traceLabel = node.spec->label();
+            cfg.sampleInterval = options_.sampleInterval;
         }
         const auto start = std::chrono::steady_clock::now();
         result->sim = simulate(ann->trace, cfg);
@@ -442,9 +444,27 @@ SweepEngine::writeTelemetryJson(std::ostream &os) const
             static_cast<std::uint64_t>(obs_->tracer.numSessions()));
         j.key("events").value(obs_->tracer.totalEvents());
         j.endObject();
+        j.key("timeseries").beginObject();
+        j.key("interval").value(options_.sampleInterval);
+        j.key("runs").value(
+            static_cast<std::uint64_t>(obs_->timeseries.numSeries()));
+        j.key("samples").value(obs_->timeseries.totalSamples());
+        j.endObject();
     }
     j.endObject();
     os << "\n";
+}
+
+void
+SweepEngine::writeTimeseriesJson(std::ostream &os) const
+{
+    if (obs_) {
+        obs_->timeseries.writeJson(os);
+        return;
+    }
+    // Sampling was never enabled: still emit a valid (empty) document
+    // so downstream tooling can treat the file uniformly.
+    os << "{\"schema\":\"prefsim-timeseries-v1\",\"runs\":[]}\n";
 }
 
 } // namespace prefsim

@@ -56,6 +56,13 @@ struct SweepOptions
      *  key: an engine-differential run must use --no-cache or separate
      *  cache directories. */
     SimEngine engine = SimEngine::EventDriven;
+    /**
+     * Interval time-series sampling period (--sample-interval; 0 = off).
+     * Implies an ObsContext; each freshly simulated point commits one
+     * `prefsim-timeseries-v1` series (cache hits skip simulation and so
+     * contribute none — pair with useCache = false for full coverage).
+     */
+    Cycle sampleInterval = 0;
 };
 
 /** Work accounting: what actually executed vs. came from the cache. */
@@ -163,6 +170,14 @@ class SweepEngine
      * runPending() returns (workers joined).
      */
     void writeTelemetryJson(std::ostream &os) const;
+
+    /**
+     * Serialise every committed interval time series as one
+     * `prefsim-timeseries-v1` document (an empty runs array when
+     * sampling was off or every point came from the cache). Call after
+     * runPending() returns.
+     */
+    void writeTimeseriesJson(std::ostream &os) const;
 
   private:
     /** Execute @p specs (none of which have results yet) as a DAG. */

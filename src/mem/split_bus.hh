@@ -229,6 +229,14 @@ class SplitBus
     const BusStats &stats() const { return stats_; }
     const BusTiming &timing() const { return timing_; }
 
+    /** Operations waiting for a data channel right now (includes ops
+     *  still in their contention-free memory phase). Interval-sampling
+     *  snapshot of arbitration-queue depth. */
+    std::size_t queuedOps() const { return waiting_.size(); }
+
+    /** Transfers occupying data channels right now. */
+    std::size_t activeTransfers() const { return active_.size(); }
+
     /** Zero the accumulated statistics (warmup exclusion). */
     void resetStats() { stats_ = BusStats{}; }
 

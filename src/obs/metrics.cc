@@ -62,6 +62,82 @@ Histogram::bucketCount(std::size_t i) const
     return counts_[i].load(std::memory_order_relaxed);
 }
 
+Histogram::Summary
+Histogram::summary() const
+{
+    Summary s;
+    // Snapshot every bucket once and derive everything from the
+    // snapshot: updates are relaxed atomics, so a summary taken while
+    // writers are active is only required to be self-consistent.
+    const std::uint64_t under = underflow();
+    const std::uint64_t over = overflow();
+    std::vector<std::uint64_t> counts(counts_.size());
+    std::uint64_t total = under + over;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        counts[i] = counts_[i].load(std::memory_order_relaxed);
+        total += counts[i];
+    }
+    if (total == 0)
+        return s;
+    s.count = total;
+    s.sum = sum();
+
+    // Bounds of the lowest/highest non-empty bucket, walking the
+    // conceptual bucket order: underflow [0, b0), interior
+    // [b_i, b_{i+1}), overflow [b_n, b_n].
+    bool found_min = false;
+    if (under > 0) {
+        s.minBound = 0;
+        s.maxBound = bounds_.front();
+        found_min = true;
+    }
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0)
+            continue;
+        if (!found_min) {
+            s.minBound = bounds_[i];
+            found_min = true;
+        }
+        s.maxBound = bounds_[i + 1];
+    }
+    if (over > 0) {
+        if (!found_min)
+            s.minBound = bounds_.back();
+        s.maxBound = bounds_.back();
+    }
+
+    const auto percentile = [&](double q) -> double {
+        const double rank = q * static_cast<double>(total);
+        double cum = 0.0;
+        const auto interp = [&](double lo, double hi, double cnt) {
+            return lo + (rank - cum) / cnt * (hi - lo);
+        };
+        if (under > 0) {
+            const auto cnt = static_cast<double>(under);
+            if (cum + cnt >= rank)
+                return interp(0.0, static_cast<double>(bounds_.front()),
+                              cnt);
+            cum += cnt;
+        }
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            if (counts[i] == 0)
+                continue;
+            const auto cnt = static_cast<double>(counts[i]);
+            if (cum + cnt >= rank)
+                return interp(static_cast<double>(bounds_[i]),
+                              static_cast<double>(bounds_[i + 1]), cnt);
+            cum += cnt;
+        }
+        // Only the overflow bucket is left; it is unbounded above, so
+        // the percentile clamps to its lower edge.
+        return static_cast<double>(bounds_.back());
+    };
+    s.p50 = percentile(0.50);
+    s.p90 = percentile(0.90);
+    s.p99 = percentile(0.99);
+    return s;
+}
+
 Counter &
 MetricsRegistry::counter(const std::string &name)
 {
@@ -141,6 +217,16 @@ MetricsRegistry::writeJson(JsonWriter &j) const
         j.key("count").value(h->count());
         j.key("sum").value(h->sum());
         j.key("mean").value(h->mean());
+        const Histogram::Summary s = h->summary();
+        j.key("summary").beginObject();
+        j.key("count").value(s.count);
+        j.key("sum").value(s.sum);
+        j.key("min_bound").value(s.minBound);
+        j.key("max_bound").value(s.maxBound);
+        j.key("p50").value(s.p50);
+        j.key("p90").value(s.p90);
+        j.key("p99").value(s.p99);
+        j.endObject();
         j.endObject();
     }
     j.endObject();

@@ -135,6 +135,27 @@ class Histogram
                  : 0.0;
     }
 
+    /**
+     * Compact distribution summary derived from the buckets. minBound /
+     * maxBound are the bounds of the lowest and highest non-empty
+     * buckets (underflow reports 0, overflow reports bounds.back());
+     * percentiles interpolate linearly inside the bucket holding the
+     * rank, with underflow treated as [0, b0) and overflow clamped to
+     * bounds.back() (an unbounded bucket cannot be interpolated). An
+     * empty histogram summarises to all zeros.
+     */
+    struct Summary
+    {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::uint64_t minBound = 0; ///< Lower bound, lowest non-empty.
+        std::uint64_t maxBound = 0; ///< Upper bound, highest non-empty.
+        double p50 = 0.0;
+        double p90 = 0.0;
+        double p99 = 0.0;
+    };
+    Summary summary() const;
+
     /** Zero every bucket and the count/sum (the boundaries stay). */
     void reset();
 

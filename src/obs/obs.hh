@@ -16,6 +16,7 @@
 #ifndef PREFSIM_OBS_OBS_HH
 #define PREFSIM_OBS_OBS_HH
 
+#include "obs/interval_sampler.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -27,6 +28,9 @@ struct ObsContext
 {
     obs::MetricsRegistry metrics;
     obs::Tracer tracer;
+    /** Finished interval time series (SimConfig::sampleInterval > 0);
+     *  serialised as `prefsim-timeseries-v1`. */
+    obs::TimeSeriesStore timeseries;
 };
 
 } // namespace prefsim

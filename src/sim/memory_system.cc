@@ -18,7 +18,7 @@ MemorySystem::MemorySystem(unsigned num_procs, const CacheGeometry &geom,
     : geom_(geom), bus_(timing, num_procs),
       pdb_entries_(prefetch_data_buffer_entries), protocol_(protocol),
       stats_(proc_stats), pending_upgrade_(num_procs, kNoAddr),
-      cache_version_(num_procs, 0)
+      cache_version_(num_procs, 0), prefetch_first_use_(num_procs, 0)
 {
     prefsim_assert(proc_stats.size() == num_procs,
                    "proc stats size mismatch");
@@ -210,6 +210,8 @@ MemorySystem::demandAccess(ProcId proc, Addr addr, bool is_write, Cycle now)
     // The hit path, shared by genuine hits and victim-buffer swaps.
     auto complete_hit = [&](CacheFrame &f) -> AccessResult {
         f.accessMask |= 1u << word;
+        if (f.broughtByPrefetch && !f.usedSinceFill)
+            ++prefetch_first_use_[proc]; // Prefetch proved useful.
         f.usedSinceFill = true;
         c.touch(addr);
         if (c.prefetchLostEntries())

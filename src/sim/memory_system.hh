@@ -275,6 +275,30 @@ class MemorySystem
         return cache_version_[proc];
     }
 
+    /** Outstanding MSHRs across every cache right now (interval
+     *  sampling snapshot). */
+    std::uint64_t
+    outstandingMshrs() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &c : caches_)
+            n += c->numMshrs();
+        return n;
+    }
+
+    /**
+     * Cumulative count of prefetched lines whose data was used at least
+     * once (the complement of the useless/cancelled outcomes, counted at
+     * the moment of first use rather than at loss). Survives warmup
+     * statistics resets: the interval sampler differences it, so the
+     * rebase just carries the running value.
+     */
+    std::uint64_t
+    prefetchFirstUses(ProcId proc) const
+    {
+        return prefetch_first_use_[proc];
+    }
+
     const SplitBus &bus() const { return bus_; }
     const DataCache &cache(ProcId p) const { return *caches_[p]; }
     DataCache &cache(ProcId p) { return *caches_[p]; }
@@ -361,6 +385,9 @@ class MemorySystem
 
     /** See cacheVersion(). */
     std::vector<std::uint64_t> cache_version_;
+
+    /** See prefetchFirstUses(). */
+    std::vector<std::uint64_t> prefetch_first_use_;
 };
 
 } // namespace prefsim

@@ -177,6 +177,37 @@ class Processor
     /** Trace records retired plus partial progress (progress monitor). */
     std::uint64_t progress() const { return progress_; }
 
+    /**
+     * Statistics view as of the start of cycle @p now, for interval
+     * sampling. With lazy stall accounting a blocked processor's bucket
+     * lags reality between entry and wake; this settles the open span
+     * into a copy (the entering tick pre-counted its own cycle, so the
+     * pending amount is `now - stall_anchor_`) without touching the
+     * live counters or the anchor. With eager accounting (the
+     * CycleLoop oracle) the live counters are already current and the
+     * copy is returned unchanged — so both engines sample identical
+     * values at identical cycles, which tests/test_timeseries.cc
+     * asserts byte-for-byte.
+     */
+    ProcStats
+    sampledStats(Cycle now) const
+    {
+        ProcStats s = stats_;
+        if (!eager_stalls_ && stall_bucket_ != nullptr &&
+            (state_ == State::WaitMemory ||
+             state_ == State::WaitBarrier) &&
+            now > stall_anchor_) {
+            // The open bucket is a field of stats_; mirror the pending
+            // span onto the same field of the copy by offset.
+            const auto off =
+                reinterpret_cast<const char *>(stall_bucket_) -
+                reinterpret_cast<const char *>(&stats_);
+            *reinterpret_cast<Cycle *>(reinterpret_cast<char *>(&s) +
+                                       off) += now - stall_anchor_;
+        }
+        return s;
+    }
+
     /** Human-readable state (deadlock diagnostics). */
     std::string describeState() const;
 

@@ -77,6 +77,13 @@ Simulator::Simulator(const ParallelTrace &trace, const SimConfig &config)
         mem_->attachObs(*config.obs, trace_buf_.get());
         for (auto &pr : procs_)
             pr->setTrace(trace_buf_.get());
+        if (config.sampleInterval > 0) {
+            sampler_ = std::make_unique<obs::IntervalSampler>(
+                config.sampleInterval,
+                static_cast<unsigned>(trace.numProcs()),
+                config.traceLabel.empty() ? "run" : config.traceLabel);
+            next_sample_ = sampler_->nextSampleCycle();
+        }
     }
 }
 
@@ -87,6 +94,49 @@ Simulator::resetStatsForWarmup()
     for (auto &ps : proc_stats_)
         ps = ProcStats{};
     mem_->resetBusStats();
+    // Rebase the differencing so the reset does not show up as a huge
+    // negative delta. The reset runs at the same mid-cycle point in
+    // both engines (a barrier release is always cycle-exact), so the
+    // baseline frame is identical too. Counters the reset does not
+    // zero (prefetch first uses) are carried at their running values.
+    if (sampler_)
+        sampler_->rebase(captureSampleFrame(warmup_end_), warmup_end_);
+}
+
+obs::SampleFrame
+Simulator::captureSampleFrame(Cycle at) const
+{
+    obs::SampleFrame f;
+    f.cycle = at;
+    const SplitBus &bus = mem_->bus();
+    f.busBusy = bus.stats().busyCycles;
+    f.busQueueDepth = bus.queuedOps();
+    f.busActive = bus.activeTransfers();
+    f.mshrs = mem_->outstandingMshrs();
+    f.procs.reserve(procs_.size());
+    for (ProcId p = 0; p < procs_.size(); ++p) {
+        const ProcStats s = procs_[p]->sampledStats(at);
+        const MissBreakdown &m = s.misses;
+        f.missNonSharing += m.nonSharing();
+        f.missInvalidation += m.invalidation();
+        f.missFalseSharing += m.falseSharing;
+        f.pfIssued += s.prefetchMisses;
+        f.pfDropped += s.prefetchesDroppedResident +
+                       s.prefetchesDroppedDuplicate;
+        f.pfUseful += mem_->prefetchFirstUses(p);
+        f.pfLate += m.prefetchInProgress;
+        f.pfUseless += m.nonSharingPrefetched;
+        f.pfCancelled += m.invalPrefetched;
+        obs::SampleFrame::Proc pc;
+        pc.busy = s.busy;
+        pc.stallDemand = s.stallDemand;
+        pc.stallUpgrade = s.stallUpgrade;
+        pc.stallPrefetchQueue = s.stallPrefetchQueue;
+        pc.spinLock = s.spinLock;
+        pc.waitBarrier = s.waitBarrier;
+        f.procs.push_back(pc);
+    }
+    return f;
 }
 
 std::uint64_t
@@ -144,6 +194,9 @@ Simulator::stepCycle()
 {
     if (allDone())
         return false;
+    // A sample at cycle X captures state at the start of X, before the
+    // bus tick and the processor rotation.
+    maybeSample();
     runExactCycle();
     return !allDone();
 }
@@ -153,6 +206,10 @@ Simulator::stepEvent()
 {
     if (allDone())
         return false;
+
+    // The previous step may have left cycle_ exactly on a sample
+    // boundary (via its closing runExactCycle).
+    maybeSample();
 
     // Fast-forward across inert windows, chaining consecutive ones: a
     // burst that ends and advances into another Instr record (or into
@@ -220,6 +277,13 @@ Simulator::stepEvent()
             bus_due = false;
             break;
         }
+        // A sample boundary bounds the window too: the frame must be
+        // captured at its exact cycle, never skipped by a
+        // fast-forward. Clamped after the deadlock check above — a
+        // boundary is not progress, and letting it rescue a dead
+        // machine would sample the same frame forever.
+        if (next_sample_ < target)
+            target = next_sample_;
         // Fold grant cycles inside the window: each grant schedules a
         // completion (no earlier than grant + occupancy), which may
         // tighten the window end. nextGrantCycle() advances strictly
@@ -240,9 +304,12 @@ Simulator::stepEvent()
         }
         cycle_ = target;
         // A burst that ended exactly at the window boundary may have
-        // retired the last record of every trace.
+        // retired the last record of every trace. Checked before
+        // sampling, mirroring the cycle loop (a boundary coinciding
+        // with the end of the run is emitted by finish(), not here).
         if (allDone())
             return false;
+        maybeSample();
     }
     runExactCycle(bus_due);
     return !allDone();
@@ -259,6 +326,16 @@ Simulator::run()
         }
     }
     const Cycle done_at = cycle_;
+    // Close the time series before the drain below mutates the bus
+    // statistics: the final partial row covers the tail of the run
+    // proper. Every lazy stall has settled (all processors are Done),
+    // so the frame needs no special casing.
+    if (sampler_) {
+        sampler_->finish(captureSampleFrame(done_at));
+        config_.obs->timeseries.commit(sampler_->take());
+        sampler_.reset();
+        next_sample_ = kNoCycle;
+    }
     // Drain in-flight writebacks so bus accounting is complete. These
     // cycles do not extend the measured execution time.
     Cycle drain = cycle_;

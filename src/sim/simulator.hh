@@ -94,6 +94,18 @@ struct SimConfig
      * registry lookups, no event recording, identical simulation.
      */
     ObsContext *obs = nullptr;
+    /**
+     * Interval time-series sampling period in cycles (0 = off, the
+     * default; requires obs). Every sampleInterval cycles the run
+     * snapshots bus occupancy, miss components, prefetch outcomes and
+     * the per-processor stall breakdown into a
+     * `prefsim-timeseries-v1` series committed to obs->timeseries.
+     * Sampling never perturbs results: simulation statistics are
+     * byte-identical with it on or off, in both engines (the event
+     * core bounds its fast-forward windows at sample boundaries so
+     * frames are captured at exact cycles).
+     */
+    Cycle sampleInterval = 0;
     /** Label of this run's trace session (sweep spec label; shown as
      *  the Chrome trace process name). */
     std::string traceLabel;
@@ -155,6 +167,22 @@ class Simulator
     /** Zero all statistics at the end of warmup. */
     void resetStatsForWarmup();
 
+    /** Snapshot simulation state as of the start of cycle @p at (open
+     *  lazy stalls settled into the copy; see Processor::sampledStats). */
+    obs::SampleFrame captureSampleFrame(Cycle at) const;
+
+    /** Take the boundary sample when cycle_ sits on one. Cheap when
+     *  sampling is off: next_sample_ stays kNoCycle, which cycle_
+     *  never reaches. */
+    void
+    maybeSample()
+    {
+        if (cycle_ == next_sample_) {
+            sampler_->sample(captureSampleFrame(cycle_));
+            next_sample_ = sampler_->nextSampleCycle();
+        }
+    }
+
     /** Sum of processor progress counters + bus grants. */
     std::uint64_t progressSum() const;
 
@@ -181,6 +209,12 @@ class Simulator
     ProcId ticking_ = kNoProc;
     /** This run's trace session; committed to the tracer by run(). */
     std::unique_ptr<obs::TraceBuffer> trace_buf_;
+
+    /** Interval time-series sampler (null when sampling is off); the
+     *  finished series is committed to obs->timeseries by run(). */
+    std::unique_ptr<obs::IntervalSampler> sampler_;
+    /** Next sample boundary (kNoCycle when sampling is off). */
+    Cycle next_sample_ = kNoCycle;
 
     Cycle last_progress_check_ = 0;
     std::uint64_t last_progress_value_ = 0;

@@ -81,6 +81,82 @@ TEST(Histogram, SingleBoundaryHasNoInteriorBuckets)
     EXPECT_EQ(h.count(), 3u);
 }
 
+TEST(HistogramSummary, EmptyHistogramIsAllZeros)
+{
+    const Histogram h({0, 10, 20});
+    const Histogram::Summary s = h.summary();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.sum, 0u);
+    EXPECT_EQ(s.minBound, 0u);
+    EXPECT_EQ(s.maxBound, 0u);
+    EXPECT_DOUBLE_EQ(s.p50, 0.0);
+    EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(HistogramSummary, AllOverflowClampsToTheLastBound)
+{
+    Histogram h({0, 10});
+    h.record(100);
+    h.record(200);
+    h.record(300);
+    const Histogram::Summary s = h.summary();
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_EQ(s.sum, 600u);
+    // The overflow bucket is unbounded above; both the bucket bounds
+    // and every percentile clamp to the last boundary.
+    EXPECT_EQ(s.minBound, 10u);
+    EXPECT_EQ(s.maxBound, 10u);
+    EXPECT_DOUBLE_EQ(s.p50, 10.0);
+    EXPECT_DOUBLE_EQ(s.p90, 10.0);
+    EXPECT_DOUBLE_EQ(s.p99, 10.0);
+}
+
+TEST(HistogramSummary, SingleBucketInterpolatesLinearly)
+{
+    Histogram h({0, 10});
+    for (std::uint64_t v = 0; v < 10; ++v)
+        h.record(v);
+    const Histogram::Summary s = h.summary();
+    EXPECT_EQ(s.count, 10u);
+    EXPECT_EQ(s.minBound, 0u);
+    EXPECT_EQ(s.maxBound, 10u);
+    // rank = q * 10, interpolated across [0, 10) holding 10 samples.
+    EXPECT_DOUBLE_EQ(s.p50, 5.0);
+    EXPECT_DOUBLE_EQ(s.p90, 9.0);
+    EXPECT_DOUBLE_EQ(s.p99, 9.9);
+}
+
+TEST(HistogramSummary, PercentilesSkipEmptyBuckets)
+{
+    Histogram h({0, 10, 20, 30});
+    h.record(5);   // One sample in [0, 10).
+    h.record(21);  // Three in [20, 30); [10, 20) stays empty.
+    h.record(22);
+    h.record(23);
+    const Histogram::Summary s = h.summary();
+    EXPECT_EQ(s.minBound, 0u);
+    EXPECT_EQ(s.maxBound, 30u);
+    // p50: rank 2 falls in [20, 30) after 1 cumulative sample:
+    // 20 + (2-1)/3 * 10.
+    EXPECT_DOUBLE_EQ(s.p50, 20.0 + 10.0 / 3.0);
+    EXPECT_LE(s.p50, s.p90);
+    EXPECT_LE(s.p90, s.p99);
+}
+
+TEST(HistogramSummary, UnderflowCountsFromZero)
+{
+    Histogram h({5, 10});
+    h.record(1); // Underflow: conceptually in [0, 5).
+    h.record(2);
+    h.record(7);
+    const Histogram::Summary s = h.summary();
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_EQ(s.minBound, 0u);
+    EXPECT_EQ(s.maxBound, 10u);
+    // rank 1.5 inside the 2-sample underflow range [0, 5).
+    EXPECT_DOUBLE_EQ(s.p50, 0.0 + 1.5 / 2.0 * 5.0);
+}
+
 TEST(Histogram, ResetZeroesCountsNotBounds)
 {
     Histogram h(obs::linearBounds(4));

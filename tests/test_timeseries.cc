@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Tests for the interval time-series subsystem and the prefsim_report
+ * analysis library.
+ *
+ * The load-bearing contracts:
+ *  - sampling must not perturb simulation results at all — statistics
+ *    with sampling on (any interval) are bit-identical to sampling off;
+ *  - both engines emit *byte-identical* `prefsim-timeseries-v1` JSON:
+ *    the event engine clamps its fast-forward windows to sample
+ *    boundaries and settles lazy stall counters into exactly the
+ *    frames the eager cycle loop captures. Interval 1 is the harshest
+ *    case (every cycle is a boundary, including the warmup rebase);
+ *    a prime interval lands boundaries mid-burst; an interval longer
+ *    than the run leaves only finish()'s partial row;
+ *  - IntervalSampler's windowing arithmetic (partial final rows,
+ *    warmup rebasing, zero-width boundary skips);
+ *  - report::parseRunLabel / compareBenchReports, including the golden
+ *    threshold cases check.sh's perf gate relies on (>= failFrac is an
+ *    error => exit 1; a smaller dip only warns => exit 0).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/report.hh"
+#include "obs/interval_sampler.hh"
+#include "obs/obs.hh"
+#include "prefetch/inserter.hh"
+#include "sim/simulator.hh"
+#include "trace/workload.hh"
+#include "verify/finding.hh"
+
+namespace prefsim
+{
+namespace
+{
+
+using obs::IntervalSampler;
+using obs::SampleFrame;
+using obs::TimeSeries;
+using obs::TimeSeriesStore;
+
+/* ------------------------------------------------------------------ */
+/* Engine identity and non-perturbation                                */
+/* ------------------------------------------------------------------ */
+
+/** Serialise the stats fields the paper's results depend on. */
+std::string
+statsFingerprint(const SimStats &s)
+{
+    std::ostringstream os;
+    os << s.cycles << '|' << s.bus.busyCycles;
+    for (const ProcStats &p : s.procs) {
+        os << '|' << p.busy << ',' << p.stallDemand << ','
+           << p.stallUpgrade << ',' << p.stallPrefetchQueue << ','
+           << p.spinLock << ',' << p.waitBarrier << ',' << p.finishedAt
+           << ',' << p.misses.cpu() << ',' << p.misses.falseSharing
+           << ',' << p.prefetchMisses;
+    }
+    return os.str();
+}
+
+/** Simulate with sampling on and return (stats, timeseries JSON). */
+std::pair<SimStats, std::string>
+runSampled(const ParallelTrace &trace, SimConfig cfg, SimEngine engine,
+           Cycle interval)
+{
+    ObsContext obs;
+    cfg.obs = &obs;
+    cfg.engine = engine;
+    cfg.sampleInterval = interval;
+    cfg.traceLabel = "test";
+    const SimStats stats = simulate(trace, cfg);
+    std::ostringstream os;
+    obs.timeseries.writeJson(os);
+    return {stats, os.str()};
+}
+
+ParallelTrace
+smallWorkload(Strategy strategy)
+{
+    WorkloadParams p;
+    p.numProcs = 3;
+    p.refsPerProc = 1200;
+    p.seed = 7;
+    const ParallelTrace trace =
+        generateWorkload(WorkloadKind::Mp3d, p);
+    return annotateTrace(trace, strategy, CacheGeometry::paperDefault())
+        .trace;
+}
+
+class TimeseriesEngineIdentity : public ::testing::TestWithParam<Cycle>
+{
+};
+
+TEST_P(TimeseriesEngineIdentity, SeriesAndStatsBitIdentical)
+{
+    const Cycle interval = GetParam();
+    const ParallelTrace trace = smallWorkload(Strategy::PREF);
+    SimConfig cfg;
+    cfg.timing.dataTransfer = 8; // Warmup reset stays on (default 1
+                                 // episode): the rebase path runs.
+
+    const auto [cycle_stats, cycle_json] =
+        runSampled(trace, cfg, SimEngine::CycleLoop, interval);
+    const auto [event_stats, event_json] =
+        runSampled(trace, cfg, SimEngine::EventDriven, interval);
+
+    EXPECT_EQ(statsFingerprint(cycle_stats),
+              statsFingerprint(event_stats));
+    EXPECT_EQ(cycle_json, event_json)
+        << "engines emitted different series at interval " << interval;
+    EXPECT_NE(cycle_json.find("\"samples\""), std::string::npos);
+}
+
+// 1: every cycle is a boundary (warmup rebase coincides with one).
+// 97: prime, so boundaries land mid-burst and mid-bus-transfer.
+// 1<<30: longer than the run; only finish()'s partial row remains.
+INSTANTIATE_TEST_SUITE_P(Intervals, TimeseriesEngineIdentity,
+                         ::testing::Values(Cycle{1}, Cycle{97},
+                                           Cycle{1} << 30));
+
+TEST(TimeseriesSampling, DoesNotPerturbSimulation)
+{
+    const ParallelTrace trace = smallWorkload(Strategy::PWS);
+    SimConfig cfg;
+    cfg.timing.dataTransfer = 8;
+
+    for (const SimEngine engine :
+         {SimEngine::CycleLoop, SimEngine::EventDriven}) {
+        SimConfig plain = cfg;
+        plain.engine = engine;
+        const std::string off = statsFingerprint(simulate(trace, plain));
+        for (const Cycle interval : {Cycle{1}, Cycle{113}}) {
+            const auto [stats, json] =
+                runSampled(trace, cfg, engine, interval);
+            EXPECT_EQ(off, statsFingerprint(stats))
+                << "sampling at interval " << interval
+                << " changed the simulation";
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* IntervalSampler unit tests                                          */
+/* ------------------------------------------------------------------ */
+
+SampleFrame
+frameAt(Cycle cycle, Cycle busBusy, unsigned procs = 1)
+{
+    SampleFrame f;
+    f.cycle = cycle;
+    f.busBusy = busBusy;
+    f.procs.resize(procs);
+    return f;
+}
+
+TEST(IntervalSamplerUnit, FinishEmitsThePartialTail)
+{
+    IntervalSampler s(100, 1, "t");
+    s.sample(frameAt(100, 40));
+    s.finish(frameAt(130, 52)); // 30-cycle tail.
+    const TimeSeries ts = s.take();
+    ASSERT_EQ(ts.samples(), 2u);
+    EXPECT_EQ(ts.cycle.back(), 130u);
+    EXPECT_EQ(ts.window.back(), 30u);
+    EXPECT_EQ(ts.busBusy.back(), 12u);
+    EXPECT_DOUBLE_EQ(ts.busUtil.back(), 12.0 / 30.0);
+}
+
+TEST(IntervalSamplerUnit, IntervalLongerThanRunYieldsOneRow)
+{
+    IntervalSampler s(1000000, 2, "t");
+    EXPECT_EQ(s.nextSampleCycle(), 1000000u);
+    s.finish(frameAt(777, 300, 2));
+    const TimeSeries ts = s.take();
+    ASSERT_EQ(ts.samples(), 1u);
+    EXPECT_EQ(ts.cycle[0], 777u);
+    EXPECT_EQ(ts.window[0], 777u);
+    ASSERT_EQ(ts.perProc.size(), 2u);
+    EXPECT_EQ(ts.perProc[0].busy.size(), 1u);
+}
+
+TEST(IntervalSamplerUnit, WindowsTileTheRun)
+{
+    IntervalSampler s(50, 1, "t");
+    for (Cycle c = 50; c <= 200; c += 50)
+        s.sample(frameAt(c, c / 2));
+    s.finish(frameAt(233, 120));
+    const TimeSeries ts = s.take();
+    ASSERT_EQ(ts.samples(), 5u);
+    Cycle covered = 0;
+    for (const Cycle w : ts.window)
+        covered += w;
+    EXPECT_EQ(covered, 233u); // No warmup: windows cover the full run.
+}
+
+TEST(IntervalSamplerUnit, RebaseShrinksTheNextWindow)
+{
+    IntervalSampler s(100, 1, "t");
+    s.sample(frameAt(100, 10));
+    // Warmup reset at cycle 160: the 200-boundary row measures
+    // [160, 200) only, and busy cycles restart from the rebase frame.
+    s.rebase(frameAt(160, 90), 160);
+    s.sample(frameAt(200, 102));
+    const TimeSeries ts = s.take();
+    ASSERT_EQ(ts.samples(), 2u);
+    EXPECT_EQ(ts.warmupEnd, 160u);
+    EXPECT_EQ(ts.window.back(), 40u);
+    EXPECT_EQ(ts.busBusy.back(), 12u);
+}
+
+TEST(IntervalSamplerUnit, BoundaryOnRebasePointSkipsTheRow)
+{
+    IntervalSampler s(100, 1, "t");
+    s.sample(frameAt(100, 10));
+    s.rebase(frameAt(200, 80), 200);
+    s.sample(frameAt(200, 80)); // Zero-width window: no row...
+    EXPECT_EQ(s.nextSampleCycle(), 300u); // ...but the grid advances.
+    s.sample(frameAt(300, 110));
+    const TimeSeries ts = s.take();
+    ASSERT_EQ(ts.samples(), 2u);
+    EXPECT_EQ(ts.cycle.back(), 300u);
+    EXPECT_EQ(ts.window.back(), 100u);
+    EXPECT_EQ(ts.busBusy.back(), 30u);
+}
+
+/* ------------------------------------------------------------------ */
+/* Run-label parsing and report writers                                */
+/* ------------------------------------------------------------------ */
+
+TEST(ReportLabels, ParseRoundTrip)
+{
+    const auto r = report::parseRunLabel("topopt-r/PWS@8");
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->workload, WorkloadKind::Topopt);
+    EXPECT_TRUE(r->restructured);
+    EXPECT_EQ(r->strategy, Strategy::PWS);
+    EXPECT_EQ(r->dataTransfer, 8u);
+
+    const auto plain = report::parseRunLabel("water/NP@32");
+    ASSERT_TRUE(plain.has_value());
+    EXPECT_EQ(plain->workload, WorkloadKind::Water);
+    EXPECT_FALSE(plain->restructured);
+    EXPECT_EQ(plain->strategy, Strategy::NP);
+    EXPECT_EQ(plain->dataTransfer, 32u);
+}
+
+TEST(ReportLabels, RejectsForeignLabels)
+{
+    EXPECT_FALSE(report::parseRunLabel("").has_value());
+    EXPECT_FALSE(report::parseRunLabel("no-separators").has_value());
+    EXPECT_FALSE(report::parseRunLabel("nosuch/PREF@8").has_value());
+    EXPECT_FALSE(report::parseRunLabel("water/NOPE@8").has_value());
+    EXPECT_FALSE(report::parseRunLabel("water/PREF@fast").has_value());
+    EXPECT_FALSE(report::parseRunLabel("water/PREF").has_value());
+}
+
+/** A minimal two-strategy RunSet: NP at 200 cycles, PREF at 150. */
+report::RunSet
+tinyRunSet()
+{
+    report::RunSet rs;
+    for (const auto &[strategy, cycles] :
+         std::vector<std::pair<Strategy, Cycle>>{
+             {Strategy::NP, 200}, {Strategy::PREF, 150}}) {
+        report::RunArtifact r;
+        r.label = "water/" + strategyName(strategy) + "@8";
+        r.workload = WorkloadKind::Water;
+        r.strategy = strategy;
+        r.dataTransfer = 8;
+        r.sim.cycles = cycles;
+        ProcStats p;
+        p.busy = cycles / 2;
+        p.stallDemand = cycles / 2;
+        p.finishedAt = cycles;
+        p.demandRefs = 100;
+        p.misses.invalNotPrefetched = 4;
+        p.misses.falseSharing = 2;
+        r.sim.procs.assign(2, p);
+        r.sim.bus.busyCycles = cycles / 4;
+        rs.runs.push_back(std::move(r));
+    }
+    return rs;
+}
+
+TEST(ReportWriters, Fig2NormalisesToNp)
+{
+    std::ostringstream os;
+    report::writeFig2Report(os, tinyRunSet());
+    const std::string out = os.str();
+    // NP is the 100.0 baseline; PREF finished in 150/200 = 75 %.
+    EXPECT_NE(out.find("| 100.0 |"), std::string::npos) << out;
+    EXPECT_NE(out.find("|  75.0 |"), std::string::npos) << out;
+}
+
+TEST(ReportWriters, Table2And3CoverEveryRun)
+{
+    std::ostringstream os2, os3;
+    const report::RunSet rs = tinyRunSet();
+    report::writeTable2Report(os2, rs);
+    report::writeTable3Report(os3, rs);
+    for (const char *strategy : {"NP", "PREF"}) {
+        EXPECT_NE(os2.str().find(strategy), std::string::npos);
+        EXPECT_NE(os3.str().find(strategy), std::string::npos);
+    }
+    // Measured utilisation 50/200; paper lists water/NP@8 = 0.14, so
+    // the drift column renders a real delta rather than "-".
+    EXPECT_NE(os2.str().find("0.25"), std::string::npos) << os2.str();
+    EXPECT_NE(os2.str().find("0.14"), std::string::npos) << os2.str();
+}
+
+/* ------------------------------------------------------------------ */
+/* Perf-compare golden cases                                           */
+/* ------------------------------------------------------------------ */
+
+std::string
+benchDoc(double fig2_sim_s, double micro_sim_s)
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"prefsim-bench-simcore-v1\","
+          "\"bench\":\"bench_fig2_exec_time\",\"refs_per_proc\":1000,"
+          "\"runs\":{"
+          "\"fig2_event\":{\"engine\":\"event\",\"procs\":16,"
+          "\"wall_s\":1.0,\"sim_only_s\":"
+       << fig2_sim_s
+       << ",\"sim_cycles\":1000000,\"sim_refs\":500000,"
+          "\"cycles_per_s\":1,\"refs_per_s\":1},"
+          "\"micro3_event\":{\"engine\":\"event\",\"procs\":3,"
+          "\"wall_s\":1.0,\"sim_only_s\":"
+       << micro_sim_s
+       << ",\"sim_cycles\":1000000,\"sim_refs\":500000,"
+          "\"cycles_per_s\":1,\"refs_per_s\":1}}}";
+    return os.str();
+}
+
+TEST(PerfCompare, IdenticalReportsPassClean)
+{
+    const std::string doc = benchDoc(1.0, 1.0);
+    const report::CompareReport cmp =
+        report::compareBenchReports(doc, doc, {});
+    EXPECT_TRUE(cmp.findings.empty());
+    ASSERT_EQ(cmp.rows.size(), 2u);
+    EXPECT_EQ(verify::findingsExitCode(cmp.findings), verify::kExitOk);
+}
+
+TEST(PerfCompare, TenPercentRegressionFailsTheGate)
+{
+    // fig2 throughput falls 1.0 -> 1/1.2 ≈ -16.7 %: past failFrac.
+    const report::CompareReport cmp = report::compareBenchReports(
+        benchDoc(1.0, 1.0), benchDoc(1.2, 1.0), {});
+    ASSERT_EQ(cmp.findings.size(), 1u);
+    EXPECT_EQ(cmp.findings[0].rule, "perf.regression");
+    EXPECT_EQ(cmp.findings[0].severity, verify::Severity::Error);
+    EXPECT_EQ(verify::findingsExitCode(cmp.findings),
+              verify::kExitViolations);
+}
+
+TEST(PerfCompare, SmallDipOnlyWarns)
+{
+    // 1.0 -> 1/1.06 ≈ -5.7 %: between warnFrac and failFrac.
+    const report::CompareReport cmp = report::compareBenchReports(
+        benchDoc(1.0, 1.0), benchDoc(1.06, 1.0), {});
+    ASSERT_EQ(cmp.findings.size(), 1u);
+    EXPECT_EQ(cmp.findings[0].severity, verify::Severity::Warning);
+    EXPECT_EQ(verify::findingsExitCode(cmp.findings), verify::kExitOk);
+}
+
+TEST(PerfCompare, SpeedupIsNotARegression)
+{
+    const report::CompareReport cmp = report::compareBenchReports(
+        benchDoc(1.2, 1.0), benchDoc(1.0, 1.0), {});
+    EXPECT_TRUE(cmp.findings.empty());
+}
+
+TEST(PerfCompare, MissingRunAndBadSchemaAreErrors)
+{
+    const std::string base = benchDoc(1.0, 1.0);
+    std::string fresh = base;
+    const std::size_t micro = fresh.find(",\"micro3_event\"");
+    ASSERT_NE(micro, std::string::npos);
+    fresh.resize(micro);
+    fresh += "}}";
+    const report::CompareReport cmp =
+        report::compareBenchReports(base, fresh, {});
+    ASSERT_EQ(cmp.findings.size(), 1u);
+    EXPECT_EQ(cmp.findings[0].rule, "perf.missing_run");
+    EXPECT_TRUE(verify::anyError(cmp.findings));
+
+    const report::CompareReport bad =
+        report::compareBenchReports("{\"schema\":\"wrong\"}", base, {});
+    ASSERT_FALSE(bad.findings.empty());
+    EXPECT_EQ(bad.findings[0].rule, "perf.schema");
+    EXPECT_EQ(verify::findingsExitCode(bad.findings),
+              verify::kExitViolations);
+}
+
+TEST(PerfCompare, ThresholdsAreConfigurable)
+{
+    report::CompareOptions opts;
+    opts.warnFrac = 0.001;
+    opts.failFrac = 0.03;
+    const report::CompareReport cmp = report::compareBenchReports(
+        benchDoc(1.0, 1.0), benchDoc(1.06, 1.0), opts);
+    ASSERT_EQ(cmp.findings.size(), 1u);
+    EXPECT_EQ(cmp.findings[0].severity, verify::Severity::Error);
+}
+
+} // namespace
+} // namespace prefsim

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Analysis and perf-regression front end over sweep/bench artifacts.
+ *
+ * Report mode — paper-style tables from a sweep cache directory:
+ *
+ *   prefsim_report --runs DIR [--fig2] [--table2] [--table3]
+ *
+ * DIR is any --cache-dir a bench binary wrote; each cached result
+ * embeds its run label, so no re-simulation happens. With none of the
+ * table flags, all three reports print. Exit 0 on success, 2 when the
+ * directory yields no parseable runs.
+ *
+ * Compare mode — the perf-regression gate:
+ *
+ *   prefsim_report --compare BASELINE.json FRESH.json
+ *                  [--warn FRAC] [--fail FRAC] [--json]
+ *
+ * Diffs two scripts/bench_perf.sh reports (prefsim-bench-simcore-v1)
+ * on sim-only throughput. A loss of at least --warn (default 0.02)
+ * warns; at least --fail (default 0.10) is an error. Findings use the
+ * shared verification vocabulary; --json emits prefsim-findings-v1.
+ * Exit codes: 0 clean, 1 at least one error finding, 2 usage/IO —
+ * the convention shared by prefsim_lint / prefsim_verify /
+ * validate_telemetry, which is what lets scripts/check.sh gate on it.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "core/report.hh"
+#include "stats/table.hh"
+#include "verify/finding.hh"
+
+namespace
+{
+
+using namespace prefsim;
+using namespace prefsim::verify;
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: prefsim_report --runs DIR [--fig2] [--table2] "
+           "[--table3]\n"
+           "       prefsim_report --compare BASELINE.json FRESH.json\n"
+           "                      [--warn FRAC] [--fail FRAC] [--json]\n";
+    std::exit(kExitUsage);
+}
+
+std::optional<std::string>
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+double
+parseFrac(const std::string &flag, const char *text)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || v < 0.0) {
+        std::cerr << "prefsim_report: " << flag
+                  << " expects a non-negative fraction, got '" << text
+                  << "'\n";
+        std::exit(kExitUsage);
+    }
+    return v;
+}
+
+int
+runReports(const std::string &dir, bool fig2, bool table2, bool table3)
+{
+    const report::RunSet rs = report::loadRunDirectory(dir);
+    if (rs.runs.empty()) {
+        std::cerr << "prefsim_report: no sweep results under " << dir
+                  << " (" << rs.filesScanned << " json files scanned, "
+                  << rs.filesSkipped << " skipped)\n";
+        return kExitUsage;
+    }
+    std::cout << "runs: " << rs.runs.size() << " (from "
+              << rs.filesScanned << " files, " << rs.filesSkipped
+              << " skipped)\n\n";
+    if (!fig2 && !table2 && !table3)
+        fig2 = table2 = table3 = true;
+    bool first = true;
+    auto section = [&](void (*writer)(std::ostream &,
+                                      const report::RunSet &)) {
+        if (!first)
+            std::cout << "\n";
+        first = false;
+        writer(std::cout, rs);
+    };
+    if (fig2)
+        section(report::writeFig2Report);
+    if (table2)
+        section(report::writeTable2Report);
+    if (table3)
+        section(report::writeTable3Report);
+    return kExitOk;
+}
+
+int
+runCompare(const std::string &baseline_path,
+           const std::string &fresh_path,
+           const report::CompareOptions &opts, bool json)
+{
+    const std::optional<std::string> baseline = slurp(baseline_path);
+    if (!baseline) {
+        std::cerr << "prefsim_report: cannot open " << baseline_path
+                  << "\n";
+        return kExitUsage;
+    }
+    const std::optional<std::string> fresh = slurp(fresh_path);
+    if (!fresh) {
+        std::cerr << "prefsim_report: cannot open " << fresh_path
+                  << "\n";
+        return kExitUsage;
+    }
+    const report::CompareReport cmp =
+        report::compareBenchReports(*baseline, *fresh, opts);
+
+    if (json) {
+        JsonWriter j(std::cout);
+        j.beginObject();
+        j.key("schema").value("prefsim-findings-v1");
+        j.key("tool").value("prefsim_report");
+        j.key("runs").beginArray();
+        for (const report::CompareRow &row : cmp.rows) {
+            j.beginObject();
+            j.key("label").value(row.label);
+            j.key("baseline_cycles_per_s")
+                .value(row.baselineCyclesPerSec);
+            j.key("fresh_cycles_per_s").value(row.freshCyclesPerSec);
+            j.key("delta").value(row.delta);
+            j.endObject();
+        }
+        j.endArray();
+        writeFindingsJson(j, cmp.findings);
+        j.key("ok").value(!anyError(cmp.findings));
+        j.endObject();
+        std::cout << "\n";
+        return findingsExitCode(cmp.findings);
+    }
+
+    if (!cmp.rows.empty()) {
+        TextTable table({"run", "baseline Mcyc/s", "fresh Mcyc/s",
+                         "delta"});
+        for (const report::CompareRow &row : cmp.rows) {
+            table.addRow(
+                {row.label,
+                 TextTable::num(row.baselineCyclesPerSec / 1e6, 2),
+                 TextTable::num(row.freshCyclesPerSec / 1e6, 2),
+                 (row.delta >= 0.0 ? "+" : "") +
+                     TextTable::percent(row.delta, 1)});
+        }
+        table.print(std::cout);
+    }
+    writeFindingsText(std::cout, cmp.findings);
+    if (cmp.findings.empty())
+        std::cout << "perf gate ok: no regressions beyond "
+                  << TextTable::percent(opts.warnFrac, 0) << "\n";
+    return findingsExitCode(cmp.findings);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string runs_dir;
+    std::vector<std::string> compare_paths;
+    report::CompareOptions opts;
+    bool fig2 = false, table2 = false, table3 = false, json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "prefsim_report: missing value for " << arg
+                          << "\n";
+                std::exit(kExitUsage);
+            }
+            return argv[++i];
+        };
+        if (arg == "--runs") {
+            runs_dir = next();
+        } else if (arg == "--compare") {
+            compare_paths.push_back(next());
+            compare_paths.push_back(next());
+        } else if (arg == "--warn") {
+            opts.warnFrac = parseFrac(arg, next());
+        } else if (arg == "--fail") {
+            opts.failFrac = parseFrac(arg, next());
+        } else if (arg == "--fig2") {
+            fig2 = true;
+        } else if (arg == "--table2") {
+            table2 = true;
+        } else if (arg == "--table3") {
+            table3 = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+        } else {
+            std::cerr << "prefsim_report: unknown option " << arg
+                      << "\n";
+            return kExitUsage;
+        }
+    }
+
+    const bool compare = !compare_paths.empty();
+    if (compare == !runs_dir.empty()) // Exactly one mode, please.
+        usage();
+    if (compare)
+        return runCompare(compare_paths[0], compare_paths[1], opts,
+                          json);
+    return runReports(runs_dir, fig2, table2, table3);
+}

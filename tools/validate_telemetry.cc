@@ -2,19 +2,24 @@
  * @file
  * Structural validator for the observability layer's JSON outputs.
  *
- *   validate_telemetry [--json] METRICS.json [TRACE.json]
+ *   validate_telemetry [--json] FILE.json [FILE.json ...]
  *
- * Strict-parses (common/json.hh — the same parser the result cache
- * uses to detect corruption) and then checks shape:
+ * Strict-parses each file (common/json.hh — the same parser the result
+ * cache uses to detect corruption), dispatches on its schema, and
+ * checks shape:
  *
- *  - METRICS.json must be a prefsim-telemetry-v1 document with the
- *    sweep stage counters/timings, and any histogram present must be
- *    internally consistent (counts match bounds, bucket totals +
- *    under/overflow == count);
- *  - TRACE.json (optional) must be a Chrome trace-event document:
- *    a traceEvents array whose synchronous B/E events pair up in stack
- *    order per (pid, tid), whose async b/e events pair by
- *    (cat, id, scope), and whose timestamps are monotone per pid.
+ *  - prefsim-telemetry-v1 (--metrics-out) must carry the sweep stage
+ *    counters/timings, and any histogram present must be internally
+ *    consistent (counts match bounds, bucket totals + under/overflow
+ *    == count, the summary block agrees with the raw buckets);
+ *  - prefsim-timeseries-v1 (--timeseries-out) must have interval >= 1
+ *    per run, a strictly increasing cycle column, every column the
+ *    advertised sample count long, per-window widths >= 1 that sum to
+ *    the covered span, and proc_columns shaped [procs][samples];
+ *  - a Chrome trace-event document (--trace-out): a traceEvents array
+ *    whose synchronous B/E events pair up in stack order per
+ *    (pid, tid), whose async b/e events pair by (cat, id, scope), and
+ *    whose timestamps are monotone per pid.
  *
  * Violations are reported in the shared verification vocabulary
  * (src/verify/finding.hh) under the telemetry.* rules; --json emits a
@@ -103,19 +108,31 @@ checkHistogram(const std::string &name, const JsonValue &h)
     if (total != need(h, "count", name).asU64())
         fail("telemetry.histogram",
              name + ": bucket totals do not sum to count");
+
+    // The derived summary block must agree with the raw buckets.
+    const JsonValue &s = need(h, "summary", name);
+    if (need(s, "count", name).asU64() != total)
+        fail("telemetry.histogram",
+             name + ": summary count disagrees with buckets");
+    if (need(s, "sum", name).asU64() != need(h, "sum", name).asU64())
+        fail("telemetry.histogram",
+             name + ": summary sum disagrees with histogram sum");
+    const double p50 = need(s, "p50", name).asDouble();
+    const double p90 = need(s, "p90", name).asDouble();
+    const double p99 = need(s, "p99", name).asDouble();
+    if (p50 > p90 || p90 > p99)
+        fail("telemetry.histogram",
+             name + ": percentiles are not monotone (p50<=p90<=p99)");
+    if (need(s, "min_bound", name).asU64() >
+        need(s, "max_bound", name).asU64())
+        fail("telemetry.histogram",
+             name + ": summary min_bound exceeds max_bound");
 }
 
 void
-checkMetrics(const std::string &text)
+checkMetrics(const JsonValue &doc)
 {
-    const auto doc = prefsim::parseJson(text);
-    if (!doc)
-        fail("telemetry.parse", "metrics file is not strict JSON");
-    if (need(*doc, "schema", "document").asString() !=
-        "prefsim-telemetry-v1") {
-        fail("telemetry.schema", "unexpected schema");
-    }
-    const JsonValue &sweep = need(*doc, "sweep", "document");
+    const JsonValue &sweep = need(doc, "sweep", "document");
     for (const char *key :
          {"traces_generated", "annotations_run", "simulations_run",
           "cache_hits", "cache_stores", "cache_rejected",
@@ -123,12 +140,12 @@ checkMetrics(const std::string &text)
           "annotate_nanos", "simulate_nanos"}) {
         need(sweep, key, "sweep");
     }
-    if (const JsonValue *metrics = doc->find("metrics")) {
+    if (const JsonValue *metrics = doc.find("metrics")) {
         const JsonValue &hists = need(*metrics, "histograms", "metrics");
         for (const auto &[name, h] : hists.members())
             checkHistogram(name, h);
     }
-    if (const JsonValue *tracing = doc->find("tracing")) {
+    if (const JsonValue *tracing = doc.find("tracing")) {
         need(*tracing, "enabled", "tracing");
         need(*tracing, "compiled_in", "tracing");
         need(*tracing, "sessions", "tracing");
@@ -136,13 +153,115 @@ checkMetrics(const std::string &text)
     }
 }
 
-std::size_t
-checkTrace(const std::string &text)
+/** One run's column must be an array of the advertised length. */
+const std::vector<JsonValue> &
+needColumn(const JsonValue &columns, const char *key,
+           std::size_t samples, const std::string &where)
 {
-    const auto doc = prefsim::parseJson(text);
-    if (!doc)
-        fail("telemetry.parse", "trace file is not strict JSON");
-    const JsonValue &events = need(*doc, "traceEvents", "document");
+    const JsonValue &col = need(columns, key, where);
+    if (!col.isArray())
+        fail("telemetry.timeseries",
+             where + ": column \"" + std::string(key) +
+                 "\" is not an array");
+    if (col.array().size() != samples)
+        fail("telemetry.timeseries",
+             where + ": column \"" + std::string(key) + "\" has " +
+                 std::to_string(col.array().size()) + " entries, " +
+                 "expected " + std::to_string(samples));
+    return col.array();
+}
+
+/** Returns (runs, total samples) for the ok line. */
+std::pair<std::size_t, std::uint64_t>
+checkTimeseries(const JsonValue &doc)
+{
+    const JsonValue &runs = need(doc, "runs", "document");
+    if (!runs.isArray())
+        fail("telemetry.timeseries", "runs is not an array");
+    std::uint64_t total_samples = 0;
+    for (const JsonValue &run : runs.array()) {
+        const std::string where =
+            "run \"" + need(run, "label", "run").asString() + "\"";
+        const std::uint64_t interval =
+            need(run, "interval", where).asU64();
+        if (interval < 1)
+            fail("telemetry.timeseries",
+                 where + ": interval must be at least 1");
+        const std::uint64_t procs = need(run, "procs", where).asU64();
+        const std::size_t samples =
+            static_cast<std::size_t>(need(run, "samples", where).asU64());
+        const std::uint64_t warmup_end =
+            need(run, "warmup_end", where).asU64();
+        total_samples += samples;
+
+        const JsonValue &columns = need(run, "columns", where);
+        const auto &cycle =
+            needColumn(columns, "cycle", samples, where);
+        const auto &window =
+            needColumn(columns, "window", samples, where);
+        // Windows tile the covered span: each row accounts for exactly
+        // the cycles since the previous boundary, except that the first
+        // row past warmup_end measures from the warmup rebase point
+        // (stats were reset there, discarding the cycles in between).
+        std::uint64_t prev_cycle = 0;
+        for (std::size_t i = 0; i < samples; ++i) {
+            const std::uint64_t c = cycle[i].asU64();
+            if (c <= prev_cycle)
+                fail("telemetry.timeseries",
+                     where + ": cycle column is not strictly "
+                             "increasing at sample " +
+                         std::to_string(i));
+            const std::uint64_t w = window[i].asU64();
+            if (w < 1)
+                fail("telemetry.timeseries",
+                     where + ": window must be at least 1 (sample " +
+                         std::to_string(i) + ")");
+            const std::uint64_t base =
+                prev_cycle < warmup_end && c > warmup_end ? warmup_end
+                                                          : prev_cycle;
+            if (c - base != w)
+                fail("telemetry.timeseries",
+                     where + ": window does not match the cycle step "
+                             "at sample " +
+                         std::to_string(i));
+            prev_cycle = c;
+        }
+        for (const char *key :
+             {"bus_busy", "bus_util", "bus_queue_depth", "bus_active",
+              "mshrs", "miss_nonsharing", "miss_invalidation",
+              "miss_false_sharing", "pf_issued", "pf_dropped",
+              "pf_useful", "pf_late", "pf_useless", "pf_cancelled"}) {
+            needColumn(columns, key, samples, where);
+        }
+
+        const JsonValue &proc_columns =
+            need(run, "proc_columns", where);
+        for (const char *key :
+             {"busy", "stall_demand", "stall_upgrade",
+              "stall_prefetch_queue", "spin_lock", "wait_barrier"}) {
+            const JsonValue &per_proc =
+                need(proc_columns, key, where);
+            if (!per_proc.isArray() ||
+                per_proc.array().size() != procs)
+                fail("telemetry.timeseries",
+                     where + ": proc column \"" + std::string(key) +
+                         "\" is not [procs] arrays");
+            for (const JsonValue &col : per_proc.array()) {
+                if (!col.isArray() || col.array().size() != samples)
+                    fail("telemetry.timeseries",
+                         where + ": proc column \"" + std::string(key) +
+                             "\" rows must each hold " +
+                             std::to_string(samples) + " samples");
+            }
+        }
+    }
+    return {runs.array().size(), total_samples};
+}
+
+std::size_t
+checkTrace(const JsonValue &doc)
+{
+    const JsonValue &events = need(doc, "traceEvents", "document");
     if (!events.isArray())
         fail("telemetry.trace", "traceEvents is not an array");
 
@@ -222,17 +341,48 @@ main(int argc, char **argv)
         else
             paths.push_back(argv[i]);
     }
-    if (paths.empty() || paths.size() > 2) {
-        std::cerr << "usage: validate_telemetry [--json] METRICS.json "
-                     "[TRACE.json]\n";
+    if (paths.empty()) {
+        std::cerr << "usage: validate_telemetry [--json] FILE.json "
+                     "[FILE.json ...]\n";
         return kExitUsage;
     }
 
     std::vector<Finding> findings;
     std::size_t trace_events = 0;
-    auto run = [&](const char *path, auto &&check) {
+    std::vector<std::string> ok_lines;
+    // Each file declares what it is: dispatch on its "schema" string
+    // (or the traceEvents array, which Chrome's format carries instead
+    // of a schema tag).
+    auto checkFile = [&](const char *path) {
+        const auto doc = prefsim::parseJson(slurp(path));
+        if (!doc)
+            fail("telemetry.parse", "file is not strict JSON");
+        const JsonValue *schema = doc->find("schema");
+        const std::string kind =
+            schema && schema->isString() ? schema->asString() : "";
+        if (kind == "prefsim-telemetry-v1") {
+            checkMetrics(*doc);
+            ok_lines.push_back("metrics ok: " + std::string(path));
+        } else if (kind == "prefsim-timeseries-v1") {
+            const auto [runs, samples] = checkTimeseries(*doc);
+            ok_lines.push_back(
+                "timeseries ok: " + std::string(path) + " (" +
+                std::to_string(runs) + " runs, " +
+                std::to_string(samples) + " samples)");
+        } else if (doc->find("traceEvents") != nullptr) {
+            trace_events += checkTrace(*doc);
+            ok_lines.push_back("trace ok: " + std::string(path) + " (" +
+                               std::to_string(trace_events) +
+                               " events)");
+        } else {
+            fail("telemetry.schema",
+                 "unrecognised document (expected prefsim-telemetry-v1,"
+                 " prefsim-timeseries-v1 or a traceEvents document)");
+        }
+    };
+    for (const char *path : paths) {
         try {
-            check(slurp(path));
+            checkFile(path);
         } catch (const Violation &v) {
             Finding f;
             f.rule = v.rule;
@@ -240,11 +390,7 @@ main(int argc, char **argv)
             f.location = path;
             findings.push_back(std::move(f));
         }
-    };
-    run(paths[0], [](const std::string &t) { checkMetrics(t); });
-    if (paths.size() == 2)
-        run(paths[1],
-            [&](const std::string &t) { trace_events = checkTrace(t); });
+    }
 
     if (json) {
         JsonWriter j(std::cout);
@@ -258,11 +404,8 @@ main(int argc, char **argv)
         std::cout << "\n";
     } else {
         writeFindingsText(std::cout, findings);
-        if (findings.empty()) {
-            std::cout << "metrics ok: " << paths[0] << "\n";
-            if (paths.size() == 2)
-                std::cout << "trace ok: " << trace_events << " events\n";
-        }
+        for (const std::string &line : ok_lines)
+            std::cout << line << "\n";
     }
     return findingsExitCode(findings);
 }
