@@ -9,7 +9,8 @@
  *   --jobs N         sweep worker threads (0 = all cores; default 1)
  *   --cache-dir PATH persist results to an on-disk cache at PATH
  *   --no-cache       ignore any --cache-dir; recompute everything
- *   --engine E       simulation core: event (default) or cycle
+ *   --engine E       simulation core: event (default), cycle or parallel
+ *   --shards N       worker shards per parallel-engine simulation
  *   --csv            machine-readable CSV output (where supported)
  *   --quiet          suppress informational logging
  *   --log-level L    minimum log severity: error, warn, info, debug
@@ -106,10 +107,18 @@ parseBenchArgs(int argc, char **argv,
                 opts.sweep.engine = SimEngine::CycleLoop;
             } else if (name == "event") {
                 opts.sweep.engine = SimEngine::EventDriven;
+            } else if (name == "parallel") {
+                opts.sweep.engine = SimEngine::Parallel;
             } else {
-                prefsim_fatal("--engine expects cycle or event, got '",
+                prefsim_fatal("--engine expects cycle, event or "
+                              "parallel, got '",
                               name, "'");
             }
+        } else if (arg == "--shards") {
+            const std::uint64_t value = nextUint();
+            if (value == 0 || value > 1024)
+                prefsim_fatal("--shards expects 1..1024, got ", value);
+            opts.sweep.shards = static_cast<unsigned>(value);
         } else if (arg == "--csv") {
             opts.csv = true;
         } else if (arg == "--quiet") {
@@ -145,10 +154,15 @@ parseBenchArgs(int argc, char **argv,
                    "  --cache-dir PATH persist results to an on-disk "
                    "cache\n"
                    "  --no-cache       ignore any --cache-dir\n"
-                   "  --engine E       simulation core: event (default) "
-                   "or cycle (the\n"
-                   "                   reference loop; bit-identical "
-                   "results, slower)\n"
+                   "  --engine E       simulation core: event (default), "
+                   "cycle (the\n"
+                   "                   reference loop) or parallel (the "
+                   "sharded\n"
+                   "                   conservative-PDES core); "
+                   "bit-identical results\n"
+                   "  --shards N       worker shards per parallel-engine "
+                   "simulation\n"
+                   "                   (1..1024; default 1)\n"
                    "  --csv            machine-readable CSV output\n"
                    "  --quiet          suppress informational logging\n"
                    "  --log-level L    minimum severity: error, warn, "

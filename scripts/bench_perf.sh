@@ -1,15 +1,20 @@
 #!/bin/sh
 # Simulation-core throughput benchmark: runs the paper's main result
-# (bench_fig2_exec_time) under both engines and records wall time and
-# engine throughput to a JSON report. A second, 3-processor micro run
-# covers the low-contention regime where fast-forward windows are long
-# and the event engine's advantage is largest.
+# (bench_fig2_exec_time) under all three engines — the reference cycle
+# loop, the event-driven core, and the sharded conservative-PDES core
+# (at --shards = nproc) — and records wall time and engine throughput
+# to a JSON report. A second, 3-processor micro run covers the
+# low-contention regime where fast-forward windows are long and the
+# event and parallel engines' advantage is largest.
 #
 # Usage: scripts/bench_perf.sh [--refs N] [--out FILE] [--build DIR]
+#        [--shards N]
 #   --refs N    demand references per processor (default 100000, the
 #               acceptance configuration; use a small N for smoke runs)
 #   --out FILE  report destination (default BENCH_simcore.json)
 #   --build DIR build directory (default build)
+#   --shards N  worker shards for the parallel-engine runs
+#               (default: nproc)
 #
 # Engine results are identical by contract, so the experiment cache
 # would serve one engine's numbers to the other; every run below uses
@@ -18,11 +23,13 @@ set -e
 REFS=100000
 OUT=BENCH_simcore.json
 BUILD=build
+SHARDS=$(nproc)
 while [ $# -gt 0 ]; do
     case "$1" in
         --refs) REFS=$2; shift 2 ;;
         --out) OUT=$2; shift 2 ;;
         --build) BUILD=$2; shift 2 ;;
+        --shards) SHARDS=$2; shift 2 ;;
         *) echo "unknown option: $1" >&2; exit 1 ;;
     esac
 done
@@ -41,13 +48,15 @@ trap 'rm -rf "$TMP" "$OUT.tmp"' EXIT
 # Fails fast — a crashed run, a missing metrics file or zero parsed
 # simulation volume aborts the script before a partial or misleading
 # report can be written (the report only moves into place at the end).
-# $1 = label, $2 = engine, $3 = procs
+# $1 = label, $2 = engine, $3 = procs, $4 = shards (default 1)
 run_one() {
     label=$1
     engine=$2
     procs=$3
+    shards=${4:-1}
     start=$(date +%s.%N)
     if ! "$BENCH" --refs "$REFS" --procs "$procs" --engine "$engine" \
+        --shards "$shards" \
         --no-cache --quiet --metrics-out "$TMP/$label.metrics.json" \
         > /dev/null; then
         echo "error: $label run crashed (exit $?)" >&2
@@ -74,40 +83,58 @@ run_one() {
                 exit 1 ;;
         esac
     done
-    awk -v l="$label" -v e="$engine" -v p="$procs" -v s="$start" \
+    awk -v l="$label" -v e="$engine" -v p="$procs" -v h="$shards" \
+        -v s="$start" \
         -v t="$end" -v c="$cycles" -v r="$refs" -v n="$simns" 'BEGIN {
         w = t - s
         printf "\"%s\":{\"engine\":\"%s\",\"procs\":%d,", l, e, p
+        printf "\"shards\":%d,", h
         printf "\"wall_s\":%.3f,\"sim_only_s\":%.3f,", w, n / 1e9
         printf "\"sim_cycles\":%d,\"sim_refs\":%d,", c, r
         printf "\"cycles_per_s\":%.0f,\"refs_per_s\":%.0f}", c / w, r / w
     }' >> "$TMP/runs.json"
+    # Keyed sim-only seconds for the speedup block below: label-addressed,
+    # never positional (a reordered or added run must not corrupt the
+    # ratios).
+    awk -v l="$label" -v n="$simns" \
+        'BEGIN { printf "%s %.6f\n", l, n / 1e9 }' >> "$TMP/simonly.txt"
     echo "$label: $(awk -v s="$start" -v t="$end" \
         'BEGIN { printf "%.1f", t - s }')s wall"
 }
 
-echo "== simcore throughput (refs=$REFS, report: $OUT)"
+echo "== simcore throughput (refs=$REFS, shards=$SHARDS, report: $OUT)"
 run_one fig2_event event 16
 printf ',' >> "$TMP/runs.json"
 run_one fig2_cycle cycle 16
 printf ',' >> "$TMP/runs.json"
+run_one fig2_parallel parallel 16 "$SHARDS"
+printf ',' >> "$TMP/runs.json"
 run_one micro3_event event 3
 printf ',' >> "$TMP/runs.json"
 run_one micro3_cycle cycle 3
+printf ',' >> "$TMP/runs.json"
+run_one micro3_parallel parallel 3 "$SHARDS"
 
 {
     printf '{"schema":"prefsim-bench-simcore-v1",'
     printf '"bench":"bench_fig2_exec_time","refs_per_proc":%s,' "$REFS"
+    printf '"shards":%s,' "$SHARDS"
     printf '"runs":{'
     cat "$TMP/runs.json"
     printf '},'
-    # Headline speedup: reference cycle loop vs. event engine, whole
-    # benchmark wall time (trace generation + annotation included, so
-    # this understates the engine-only ratio; sim_only_s isolates it).
-    grep -o '"wall_s":[0-9.]*' "$TMP/runs.json" | cut -d: -f2 \
-        | paste -sd' ' - \
-        | awk '{ printf "\"speedup_fig2_wall\":%.2f,", $2 / $1
-                 printf "\"speedup_micro3_wall\":%.2f", $4 / $3 }'
+    # Headline speedups on sim-only time, keyed by run label: the
+    # reference cycle loop vs. the event core, and the event core vs.
+    # the sharded parallel core (the tentpole ratio — >= 1.5x
+    # single-threaded is the core-constrained acceptance bar).
+    awk '{ t[$1] = $2 } END {
+        printf "\"speedup_fig2_sim\":%.2f,", t["fig2_cycle"] / t["fig2_event"]
+        printf "\"speedup_micro3_sim\":%.2f,", \
+            t["micro3_cycle"] / t["micro3_event"]
+        printf "\"speedup_fig2_parallel_sim\":%.2f,", \
+            t["fig2_event"] / t["fig2_parallel"]
+        printf "\"speedup_micro3_parallel_sim\":%.2f", \
+            t["micro3_event"] / t["micro3_parallel"]
+    }' "$TMP/simonly.txt"
     printf '}\n'
 } > "$OUT.tmp"
 

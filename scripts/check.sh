@@ -2,8 +2,9 @@
 # Full verification pass over every supported configuration:
 #
 #   1. plain build + tests + bench/example smoke + determinism +
-#      the engine differential (event core vs. reference cycle loop,
-#      byte-compared) + simulation-core throughput smoke + the
+#      the engine differential (event + sharded parallel cores vs. the
+#      reference cycle loop, byte-compared) + simulation-core throughput
+#      smoke + the
 #      perf-regression gate (fresh bench_perf.sh vs the checked-in
 #      BENCH_simcore.json, via prefsim_report --compare) + telemetry
 #      and interval time-series validation;
@@ -12,7 +13,8 @@
 #      linter over all five workload generators;
 #   3. clang-tidy over the static-analysis profile in .clang-tidy
 #      (skipped loudly when clang-tidy is not installed);
-#   4. ThreadSanitizer for the sweep engine's worker pool;
+#   4. ThreadSanitizer for the sweep engine's worker pool and the
+#      parallel simulation core's sharded catch-up;
 #   5. AddressSanitizer+UBSan with the PREFSIM_VERIFY runtime invariant
 #      hooks compiled in, running the full test suite;
 #   6. the event-tracing build + Chrome trace validation.
@@ -72,16 +74,22 @@ cmp "$CACHE/serial.csv" "$CACHE/parallel.csv"
 echo "ok: parallel output identical to serial"
 
 stage "engine differential"
-# The event-driven core must emit byte-identical results to the
-# reference cycle loop (docs/simcore.md). The engine is deliberately
-# not part of the experiment cache key, so --no-cache is required:
-# a cached run would compare one engine's numbers against themselves.
+# The event-driven and parallel cores must emit byte-identical results
+# to the reference cycle loop (docs/simcore.md). The engine (and shard
+# count) is deliberately not part of the experiment cache key, so
+# --no-cache is required: a cached run would compare one engine's
+# numbers against themselves.
 "$BUILD"/bench/bench_fig2_exec_time --refs 10000 --procs 8 --csv \
     --quiet --no-cache --jobs "$JOBS" --engine event > "$CACHE/event.csv"
 "$BUILD"/bench/bench_fig2_exec_time --refs 10000 --procs 8 --csv \
     --quiet --no-cache --jobs "$JOBS" --engine cycle > "$CACHE/cycle.csv"
 cmp "$CACHE/event.csv" "$CACHE/cycle.csv"
 echo "ok: event engine byte-identical to the cycle loop on fig2"
+"$BUILD"/bench/bench_fig2_exec_time --refs 10000 --procs 8 --csv \
+    --quiet --no-cache --jobs 1 --engine parallel --shards "$JOBS" \
+    > "$CACHE/parengine.csv"
+cmp "$CACHE/parengine.csv" "$CACHE/cycle.csv"
+echo "ok: parallel engine (shards=$JOBS) byte-identical on fig2"
 
 stage "simcore throughput smoke"
 # Reduced-refs run of the throughput benchmark: proves the report
@@ -186,10 +194,20 @@ stage "tsan build + sweep tests"
 TSAN_BUILD="$BUILD-tsan"
 cmake -B "$TSAN_BUILD" -DPREFSIM_SANITIZE=thread -DPREFSIM_BUILD_BENCH=OFF \
     -DPREFSIM_BUILD_EXAMPLES=OFF
-cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_sweep --target test_obs
+cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_sweep \
+    --target test_obs --target test_simcore
 "$TSAN_BUILD"/tests/test_sweep
 "$TSAN_BUILD"/tests/test_obs
 echo "ok: test_sweep + test_obs clean under ThreadSanitizer"
+
+stage "tsan parallel-engine differential"
+# The sharded conservative-PDES core races its quiet catch-up work
+# across the shard pool; the differential suite (which runs the
+# parallel engine at shard counts 1, 2 and numProcs against the
+# oracle) must be clean under ThreadSanitizer.
+"$TSAN_BUILD"/tests/test_simcore \
+    --gtest_filter='*EngineDifferential*:BurstBoundary.*'
+echo "ok: parallel-engine differential clean under ThreadSanitizer"
 
 # --- configuration 3: ASan+UBSan with runtime invariant hooks ---------
 stage "asan+ubsan+verify-hooks build + tests"

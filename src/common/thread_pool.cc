@@ -1,4 +1,4 @@
-#include "core/thread_pool.hh"
+#include "common/thread_pool.hh"
 
 #include <utility>
 

@@ -1,6 +1,7 @@
 /**
  * @file
- * A fixed-size worker pool for the sweep engine.
+ * A fixed-size worker pool shared by the sweep engine and the
+ * parallel simulation core.
  *
  * Deliberately minimal: FIFO task queue, submit-from-anywhere (including
  * from inside a running task, which is how the sweep DAG releases
@@ -10,8 +11,8 @@
  * instead of unwinding.
  */
 
-#ifndef PREFSIM_CORE_THREAD_POOL_HH
-#define PREFSIM_CORE_THREAD_POOL_HH
+#ifndef PREFSIM_COMMON_THREAD_POOL_HH
+#define PREFSIM_COMMON_THREAD_POOL_HH
 
 #include <condition_variable>
 #include <cstddef>
@@ -70,4 +71,4 @@ class ThreadPool
 
 } // namespace prefsim
 
-#endif // PREFSIM_CORE_THREAD_POOL_HH
+#endif // PREFSIM_COMMON_THREAD_POOL_HH

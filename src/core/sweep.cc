@@ -10,7 +10,7 @@
 #include "common/json.hh"
 #include "common/log.hh"
 #include "core/result_io.hh"
-#include "core/thread_pool.hh"
+#include "common/thread_pool.hh"
 
 namespace prefsim
 {
@@ -198,6 +198,7 @@ SweepEngine::executeBatch(const std::vector<ExperimentSpec> &specs)
         result->annotate = ann->stats;
         SimConfig cfg = node.spec->simConfig();
         cfg.engine = options_.engine;
+        cfg.shards = options_.shards;
         if (obs_) {
             cfg.obs = obs_.get();
             cfg.traceLabel = node.spec->label();

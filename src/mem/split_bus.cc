@@ -62,6 +62,8 @@ SplitBus::SplitBus(const BusTiming &timing, unsigned num_procs)
         prefsim_fatal("data transfer latency must be in [1, totalLatency]");
     if (timing.dataChannels == 0)
         prefsim_fatal("the bus needs at least one data channel");
+    if (timing.upgradeOccupancy == 0)
+        prefsim_fatal("upgrade occupancy must be at least one cycle");
     active_.reserve(timing.dataChannels);
 }
 
@@ -113,23 +115,42 @@ SplitBus::pickNext(Cycle now)
 {
     // Round-robin over processors starting at rr_next_, demand class
     // first (paper: arbitration "favors blocking loads over prefetches").
+    //
+    // The order is fully determined by (class, processor rank, per-
+    // processor program order) and never by the interleaving in which
+    // different processors' requests reached request(): distinct
+    // processors always have distinct ranks — ownerless transactions
+    // rank strictly after every processor, not as processor 0 — and
+    // same-rank ties fall back to queue position, which for a single
+    // processor is its program order. The parallel engine relies on
+    // this to grant identically however its shards happened to race.
     int best = -1;
     bool best_demand = false;
     std::uint32_t best_rank = ~std::uint32_t{0};
+    const std::uint32_t base = rr_next_ % num_procs_;
     for (std::size_t i = 0; i < waiting_.size(); ++i) {
         const Pending &p = waiting_[i];
         if (p.readyAt > now)
             continue;
         const bool demand = p.txn.demandWaiting || !p.txn.isPrefetch;
-        const std::uint32_t owner =
-            p.txn.requester == kNoProc ? 0 : p.txn.requester;
-        const std::uint32_t rank =
-            (owner + num_procs_ - rr_next_ % num_procs_) % num_procs_;
+        std::uint32_t rank = num_procs_;
+        if (p.txn.requester != kNoProc) {
+            // requester and base are both < num_procs_, so the
+            // wrap-around distance needs one conditional subtract, not
+            // a division (this scan runs for every grant attempt on
+            // the critical path of both engines).
+            rank = p.txn.requester + num_procs_ - base;
+            if (rank >= num_procs_)
+                rank -= num_procs_;
+        }
         if (best < 0 || (demand && !best_demand) ||
             (demand == best_demand && rank < best_rank)) {
             best = static_cast<int>(i);
             best_demand = demand;
             best_rank = rank;
+            if (best_demand && best_rank == 0)
+                break; // Unbeatable: demand class at the rotation head
+                       // (same-rank ties keep the earliest position).
         }
     }
     return best;

@@ -17,6 +17,7 @@
 #ifndef PREFSIM_MEM_SPLIT_BUS_HH
 #define PREFSIM_MEM_SPLIT_BUS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -89,6 +90,24 @@ struct BusTiming
     isAddressClass(BusOpKind kind)
     {
         return kind == BusOpKind::Upgrade;
+    }
+
+    /**
+     * Conservative-PDES lookahead: the minimum number of cycles between
+     * a request entering the bus and the earliest completion callback
+     * it can fire, over every operation kind. Address-class ops
+     * complete after their fixed occupancy; a writeback (ready
+     * immediately) can be granted the same cycle and completes a full
+     * transfer later; data fills pay the whole uncontended latency.
+     * Any cross-processor influence travels through a completion, so a
+     * request issued at cycle t cannot affect another processor before
+     * t + requestLookahead() — the provable window the parallel engine
+     * leans on (docs/simcore.md).
+     */
+    Cycle
+    requestLookahead() const
+    {
+        return std::min(upgradeOccupancy, dataTransfer);
     }
 };
 
@@ -190,6 +209,25 @@ class SplitBus
      * kNoCycle), so grant-folding loops terminate.
      */
     Cycle nextGrantCycle(Cycle now) const;
+
+    /**
+     * End of the epoch window opening at cycle @p now: the earliest
+     * cycle a completion could fire given everything already owned by
+     * the bus *plus* any request that might still enter at or after
+     * @p now (bounded by BusTiming::requestLookahead — the
+     * contention-free latency floor). Cycles in [now, window) are a
+     * provably completion-free span even against not-yet-issued
+     * requests: the conservative-PDES synchronisation bound the
+     * parallel engine's epochs are aligned to. Never returns a cycle
+     * before now + 1 (the lookahead is at least one cycle by
+     * construction: occupancies are validated non-zero).
+     */
+    Cycle
+    epochWindow(Cycle now) const
+    {
+        return std::min(nextCompletionCycle(now),
+                        now + timing_.requestLookahead());
+    }
 
     /**
      * Snapshot of every transaction currently owned by the bus, in a

@@ -109,7 +109,17 @@ MemorySystem::downgradeOthers(ProcId requester, Addr line_base, Cycle now)
         if (p == requester)
             continue;
         DataCache &c = *caches_[p];
-        if (CacheFrame *f = c.findAny(line_base)) {
+        CacheFrame *f = c.findAny(line_base);
+        CacheFrame *parked = c.findParked(line_base);
+        Mshr *m = c.findMshr(line_base);
+        // Replay p's pending quiet work before mutating its cache: the
+        // quiet hits logically precede this bus-ordered event. The
+        // lookups above survive the catch-up — quiet work never
+        // changes residency, parked entries, or MSHRs.
+        if (catch_up_ && ((f && isValid(f->state)) || parked != nullptr ||
+                          (m && !m->arriveInvalid)))
+            catch_up_(p);
+        if (f != nullptr) {
             if (isValid(f->state)) {
                 if (isPrivate(f->state)) {
                     // Losing M/E shrinks the owner's quiet-write set.
@@ -126,14 +136,13 @@ MemorySystem::downgradeOthers(ProcId requester, Addr line_base, Cycle now)
                 f->state = LineState::Shared;
             }
         }
-        if (CacheFrame *parked = c.findParked(line_base)) {
+        if (parked != nullptr) {
             // A non-snooping buffer would not see this downgrade; count
             // the hazard and neutralise the entry to keep the simulated
             // machine coherent.
             parked->state = LineState::Shared;
             ++stats_[p].bufferProtectionEvents;
         }
-        Mshr *m = c.findMshr(line_base);
         if (m && !m->arriveInvalid &&
             m->targetState != LineState::Shared &&
             mutation_ != ProtocolMutation::KeepStaleMshrTarget) {
@@ -155,7 +164,18 @@ MemorySystem::invalidateOthers(ProcId requester, Addr line_base,
         if (p == requester)
             continue;
         DataCache &c = *caches_[p];
-        if (CacheFrame *f = c.findAny(line_base)) {
+        CacheFrame *f = c.findAny(line_base);
+        CacheFrame *parked = c.findParked(line_base);
+        Mshr *m = c.findMshr(line_base);
+        // Replay p's pending quiet work before mutating its cache (and
+        // before the access-mask read below: false-sharing attribution
+        // depends on the words p touched *up to* this invalidation).
+        // The lookups survive the catch-up — quiet work never changes
+        // residency, parked entries, or MSHRs.
+        if (catch_up_ && ((f && isValid(f->state)) || parked != nullptr ||
+                          (m && !m->arriveInvalid)))
+            catch_up_(p);
+        if (f != nullptr) {
             if (isValid(f->state)) {
                 ++cache_version_[p]; // The copy stops hitting quietly.
                 if (obs_.invalidations)
@@ -172,7 +192,7 @@ MemorySystem::invalidateOthers(ProcId requester, Addr line_base,
                 f->state = LineState::Invalid;
             }
         }
-        if (CacheFrame *parked = c.findParked(line_base)) {
+        if (parked != nullptr) {
             // A non-snooping buffer would have served this stale line;
             // count the hazard and kill the entry (see 3.1). Killing it
             // stops findParked() from seeing it, so a prefetch to this
@@ -182,7 +202,6 @@ MemorySystem::invalidateOthers(ProcId requester, Addr line_base,
             c.markPrefetchLost(line_base);
             ++stats_[p].bufferProtectionEvents;
         }
-        Mshr *m = c.findMshr(line_base);
         if (m && !m->arriveInvalid) {
             m->arriveInvalid = true;
             if (obs_.invalidations)
@@ -434,6 +453,13 @@ MemorySystem::classifyMiss(ProcId proc, const CacheFrame *frame,
 void
 MemorySystem::onBusComplete(const Transaction &txn, Cycle now)
 {
+    // Everything but a writeback mutates the requester's cache (or its
+    // pending-upgrade slot) and may wake it: replay its pending quiet
+    // work first. A running requester (pure prefetch fill) executed
+    // those quiet cycles strictly before this completion; the install
+    // below may evict the very line they hit in.
+    if (catch_up_ && txn.kind != BusOpKind::WriteBack)
+        catch_up_(txn.requester);
     switch (txn.kind) {
       case BusOpKind::WriteBack:
         return; // Fire-and-forget.

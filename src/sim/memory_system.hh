@@ -143,6 +143,20 @@ class MemorySystem
     void setWake(WakeFn fn) { wake_ = std::move(fn); }
 
     /**
+     * Invoked just *before* anything outside a processor's own
+     * cycle-exact execution mutates its cache: a remote invalidation
+     * or downgrade reaching one of its lines, parked entries, or
+     * in-flight fills, and a fill completion installing into it. The
+     * parallel engine uses this to replay the processor's pending
+     * quiet work against the pre-mutation cache state (its quiet hits
+     * logically precede the mutation; see docs/simcore.md). Unset —
+     * the default, and the only configuration the other engines run —
+     * costs one null-check branch per site.
+     */
+    using CatchUpFn = std::function<void(ProcId)>;
+    void setCatchUp(CatchUpFn fn) { catch_up_ = std::move(fn); }
+
+    /**
      * Register this memory system's metrics in @p ctx and wire @p trace
      * (may be null: metrics without event tracing) through to the bus
      * and the caches. Idempotent; not called at all in the default
@@ -377,6 +391,7 @@ class MemorySystem
     std::vector<std::unique_ptr<DataCache>> caches_;
     std::vector<ProcStats> &stats_;
     WakeFn wake_;
+    CatchUpFn catch_up_;
     MissObserverFn miss_observer_;
     MemObs obs_;
 

@@ -208,6 +208,8 @@ Processor::tick(Cycle now)
       case RecordKind::LockRelease:
         ++stats_.busy;
         locks_.release(r.sync, id_);
+        if (lock_release_)
+            lock_release_(r.sync);
         PREFSIM_TRACE(trace_buf_,
                       instant(id_, "lock_release", obs::TraceCat::Sync,
                               now, kNoAddr, r.sync));

@@ -13,6 +13,7 @@
 #ifndef PREFSIM_SIM_PROCESSOR_HH
 #define PREFSIM_SIM_PROCESSOR_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 
@@ -157,8 +158,10 @@ class Processor
     }
 
     /** Attach the simulator's finished-processor counter (incremented
-     *  once when this processor retires its last record). */
-    void setDoneCounter(std::size_t *c) { done_counter_ = c; }
+     *  once when this processor retires its last record — possibly
+     *  from a shard worker, when the parallel engine's catch-up
+     *  reaches the end of the trace; hence atomic). */
+    void setDoneCounter(std::atomic<std::size_t> *c) { done_counter_ = c; }
 
     /**
      * Select eager (per-cycle) stall accounting: every blocked tick
@@ -170,8 +173,28 @@ class Processor
      */
     void setEagerStalls(bool eager) { eager_stalls_ = eager; }
 
+    /**
+     * Install a hook fired right after this processor executes a
+     * LockRelease record, with the released lock's id. The parallel
+     * engine uses it to re-arm the spinners parked on that lock: their
+     * retries are provably futile while the lock is held, so the
+     * engine stops servicing them at exact cycles and the release is
+     * the one event that must put them back in the rotation.
+     */
+    void setLockReleaseHook(std::function<void(SyncId)> fn)
+    {
+        lock_release_ = std::move(fn);
+    }
+
     bool done() const { return state_ == State::Done; }
     bool waitingAtBarrier() const { return state_ == State::WaitBarrier; }
+
+    /** True while spinning on a held lock (SpinLock state). */
+    bool spinning() const { return state_ == State::SpinLock; }
+
+    /** The lock being spun on; only meaningful while spinning(). */
+    SyncId spinLockId() const { return trace_[index_].sync; }
+
     ProcId id() const { return id_; }
 
     /** Trace records retired plus partial progress (progress monitor). */
@@ -279,6 +302,8 @@ class Processor
     BarrierManager &barriers_;
     ProcStats &stats_;
     ReleaseAllFn release_all_;
+    /** Fired after a LockRelease executes (see setLockReleaseHook). */
+    std::function<void(SyncId)> lock_release_;
 
     State state_ = State::Running;
     std::size_t index_ = 0;       ///< Current record.
@@ -299,7 +324,7 @@ class Processor
 
     /** Simulator's count of Done processors (may be null in unit
      *  tests driving a Processor directly). */
-    std::size_t *done_counter_ = nullptr;
+    std::atomic<std::size_t> *done_counter_ = nullptr;
 
     /** Count blocked cycles eagerly (CycleLoop oracle; see
      *  setEagerStalls). */

@@ -1,5 +1,7 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
+#include <array>
 #include <bit>
 #include <sstream>
 
@@ -7,6 +9,31 @@
 
 namespace prefsim
 {
+
+namespace
+{
+
+/// Cap on a single fast-forward / inert-walk window when the bus is
+/// idle. Wide enough that it never splits a real window (traces are
+/// far shorter), small enough that cycle_ + cap cannot overflow.
+constexpr Cycle kMaxWindow = Cycle{1} << 30;
+
+/// Frontier distance between batched catch-up flushes of lagging local
+/// clocks when the Parallel engine has a shard pool: often enough that
+/// the flushed spans stay cache-warm, rarely enough that the pool
+/// hand-off cost amortises.
+constexpr Cycle kShardFlushInterval = 4096;
+
+/// Walk limit for a local clock's side-effect boundary (matches the
+/// inert walk's own memo lookahead). A boundary capped here is a safe
+/// conservative stand-in for the real one: reaching it catches the
+/// processor up, re-walks from the live cursor, and costs at most one
+/// workless exact cycle per span — while an uncapped walk would
+/// traverse a long quiet tail (worst case the whole remaining trace)
+/// whose far end a snoop is likely to invalidate anyway.
+constexpr Cycle kBoundaryLookahead = 4096;
+
+} // namespace
 
 Simulator::Simulator(const ParallelTrace &trace, const SimConfig &config)
     : trace_(trace), config_(config),
@@ -25,11 +52,20 @@ Simulator::Simulator(const ParallelTrace &trace, const SimConfig &config)
         config.victimEntries, config.prefetchDataBufferEntries,
         config.protocol);
 
-    mem_->setWake([this](ProcId p, bool retry) {
+    const bool parallel = config.engine == SimEngine::Parallel;
+
+    mem_->setWake([this, parallel](ProcId p, bool retry) {
         procs_[p]->wake(retry, cycle_);
+        if (parallel) {
+            // The woken processor is current as of the frontier (its
+            // blocked span just settled) and must tick this very cycle
+            // (completions fire before the rotation, as ever).
+            local_[p] = cycle_;
+            dirty_mask_ |= std::uint32_t{1} << p;
+        }
     });
 
-    auto release_all = [this](Cycle now) {
+    auto release_all = [this, parallel](Cycle now) {
         // The release happens mid-rotation, from the last arriver's
         // tick: waiters whose service slot this cycle preceded the
         // releaser's have already spent the cycle waiting (lazy stall
@@ -40,7 +76,16 @@ Simulator::Simulator(const ParallelTrace &trace, const SimConfig &config)
         for (auto &pr : procs_) {
             if (pr && pr->waitingAtBarrier()) {
                 const unsigned pos = (pr->id() + n - start) % n;
-                pr->barrierRelease(now, pos < releaser_pos);
+                const bool before = pos < releaser_pos;
+                pr->barrierRelease(now, before);
+                if (parallel) {
+                    // A waiter released before its slot resumes this
+                    // very cycle; one whose slot already passed spent
+                    // cycle `now` waiting (settled above) and resumes
+                    // at now + 1.
+                    local_[pr->id()] = before ? now + 1 : now;
+                    dirty_mask_ |= std::uint32_t{1} << pr->id();
+                }
             }
         }
         if (!warmup_done_ && config_.warmupEpisodes > 0 &&
@@ -57,6 +102,25 @@ Simulator::Simulator(const ParallelTrace &trace, const SimConfig &config)
     // code paths, so the differential suite actually checks the lazy
     // arithmetic against the straightforward accounting.
     tick_all_ = config.engine == SimEngine::CycleLoop;
+    if (parallel) {
+        local_.assign(trace.numProcs(), 0);
+        eff_.assign(trace.numProcs(), 0);
+        rot_.assign(trace.numProcs(), 0);
+        dirty_mask_ =
+            trace.numProcs() >= 32
+                ? ~std::uint32_t{0}
+                : (std::uint32_t{1} << trace.numProcs()) - 1;
+        rot_active_ = dirty_mask_;
+        const auto np = static_cast<unsigned>(trace.numProcs());
+        if ((np & (np - 1)) == 0)
+            proc_mask_ = np - 1; // Rotation start by mask, not modulo.
+        mem_->setCatchUp([this](ProcId p) { hookTouch(p); });
+        if (config.shards > 1) {
+            pool_ = std::make_unique<ThreadPool>(
+                std::min<unsigned>(config.shards,
+                                   static_cast<unsigned>(trace.numProcs())));
+        }
+    }
     procs_.reserve(trace.numProcs());
     for (ProcId p = 0; p < trace.numProcs(); ++p) {
         procs_.push_back(std::make_unique<Processor>(
@@ -64,6 +128,26 @@ Simulator::Simulator(const ParallelTrace &trace, const SimConfig &config)
             release_all));
         procs_.back()->setDoneCounter(&done_count_);
         procs_.back()->setEagerStalls(tick_all_);
+        if (parallel) {
+            // A spinner on a held lock is dropped from the exact-cycle
+            // rotation entirely (rot_ kNoCycle: its retries provably
+            // fail); the release is the one event that must put it
+            // back. The hook fires mid-tick of the releaser, so
+            // hookTouch's slot-order rule decides whether each
+            // spinner's cycle_-cycle retry precedes or follows the
+            // release — and the rotation's dirty fold services the
+            // followers this very cycle, first in slot order winning
+            // the acquisition race exactly as the cycle loop resolves
+            // it.
+            procs_.back()->setLockReleaseHook([this](SyncId lock) {
+                const auto np = static_cast<ProcId>(procs_.size());
+                for (ProcId q = 0; q < np; ++q) {
+                    if (q != ticking_ && procs_[q]->spinning() &&
+                        procs_[q]->spinLockId() == lock)
+                        hookTouch(q);
+                }
+            });
+        }
         if (procs_.back()->done())
             ++done_count_; // Empty trace: Done at construction.
     }
@@ -174,8 +258,13 @@ Simulator::runExactCycle(bool bus_may_act)
             idx = 0;
     }
     ticking_ = kNoProc;
-    ++cycle_;
+    closeExactCycle();
+}
 
+void
+Simulator::closeExactCycle()
+{
+    ++cycle_;
     if (cycle_ - last_progress_check_ >= config_.deadlockWindow) {
         const std::uint64_t p = progressSum();
         if (p == last_progress_value_) {
@@ -218,11 +307,6 @@ Simulator::stepEvent()
     // drops to cycle-exact execution only when some processor's next
     // tick can have side effects (inert == 0) or a bus completion or
     // grant is due this very cycle.
-    // Cap on a single fast-forward window when the bus is idle. Wide
-    // enough that it never splits a real window (traces are far
-    // shorter), small enough that cycle_ + cap cannot overflow.
-    constexpr Cycle kMaxWindow = Cycle{1} << 30;
-
     const std::size_t n = procs_.size();
     bool bus_due = true;
     for (;;) {
@@ -315,14 +399,346 @@ Simulator::stepEvent()
     return !allDone();
 }
 
+void
+Simulator::refreshEff(ProcId p)
+{
+    const std::uint32_t bit = std::uint32_t{1} << p;
+    dirty_mask_ &= ~bit;
+    const Processor &pr = *procs_[p];
+    if (!pr.needsTick()) {
+        // Done or blocked: woken only by a bus completion or another
+        // processor's tick, never a rotation or frontier constraint.
+        eff_[p] = kNoCycle;
+        rot_[p] = kNoCycle;
+        rot_active_ &= ~bit;
+        return;
+    }
+    const Cycle inert = pr.inertCycles(local_[p], kBoundaryLookahead);
+    if (inert == kNoCycle) {
+        // Retries that provably fail never constrain the frontier
+        // (fastForward bulk-adds the failed cycles). A spinner on a
+        // held lock leaves the rotation too: only the release can
+        // change its retry's outcome, and the release hook re-arms it
+        // at exactly that tick. A stalled prefetch stays serviced at
+        // every exact cycle — the completion that drains the queue is
+        // only visible through the retry itself.
+        eff_[p] = kNoCycle;
+        if (pr.spinning()) {
+            rot_[p] = kNoCycle;
+            rot_active_ &= ~bit;
+        } else {
+            rot_[p] = 0;
+            rot_active_ |= bit;
+        }
+        return;
+    }
+    eff_[p] = rot_[p] = local_[p] + inert;
+    rot_active_ |= bit;
+}
+
+bool
+Simulator::catchUpQuiet(ProcId p, Cycle to)
+{
+    if (to <= local_[p])
+        return false;
+    Processor &pr = *procs_[p];
+    // Blocked and done processors need no replay at all: their stall
+    // spans settle lazily at wake (fastForward would return without
+    // doing anything). Spin/stall retries and Running quiet work go
+    // through the real bulk replay.
+    if (pr.needsTick())
+        pr.fastForward(to - local_[p], local_[p]);
+    local_[p] = to;
+    return true;
+}
+
+void
+Simulator::catchUp(ProcId p, Cycle to)
+{
+    // An advanced replay may have retired the trace's final record
+    // (Done) or consumed memoised inert cycles; either way the cached
+    // boundary is stale. (Skipping this lets a retirement keep a stale
+    // finite eff_ and pin the frontier minimum below where it is.)
+    if (catchUpQuiet(p, to))
+        dirty_mask_ |= std::uint32_t{1} << p;
+}
+
+void
+Simulator::catchUpAll(Cycle to)
+{
+    const auto n = static_cast<ProcId>(procs_.size());
+    if (!pool_) {
+        for (ProcId p = 0; p < n; ++p)
+            catchUp(p, to);
+        return;
+    }
+    // One task per shard, processors interleaved p % shards. The quiet
+    // replays of distinct processors touch disjoint state (their own
+    // cache, their own ProcStats slot, their own local_ element; the
+    // only shared write is the atomic done counter), so the partition
+    // needs no merge step — except the dirty flags, which live in one
+    // shared mask: each worker accumulates its own and the main thread
+    // folds them in after the join.
+    const unsigned shards = pool_->numThreads();
+    std::array<std::uint32_t, 32> worker_dirty{};
+    for (unsigned s = 0; s < shards; ++s) {
+        pool_->submit([this, s, n, shards, to, &worker_dirty] {
+            std::uint32_t m = 0;
+            for (ProcId p = s; p < n; p += shards) {
+                if (catchUpQuiet(p, to))
+                    m |= std::uint32_t{1} << p;
+            }
+            worker_dirty[s] = m;
+        });
+    }
+    pool_->waitAll();
+    for (unsigned s = 0; s < shards; ++s)
+        dirty_mask_ |= worker_dirty[s];
+}
+
+void
+Simulator::hookTouch(ProcId p)
+{
+    Cycle to = cycle_;
+    if (ticking_ != kNoProc && ticking_ != p) {
+        // Mid-rotation mutation from another processor's tick. When
+        // p's service slot this cycle preceded the mutator's, p's
+        // cycle-`cycle_` quiet work came first in cycle-loop order and
+        // must be replayed against the pre-mutation cache state — and
+        // the catch-up through cycle_ is legal precisely because p was
+        // skipped at its slot as provably quiet past the frontier.
+        // When p's slot is still to come, its cycle-`cycle_` work
+        // follows the mutation, so the replay stops at the frontier.
+        const auto n = static_cast<unsigned>(procs_.size());
+        unsigned pos_p = static_cast<unsigned>(p) + n - rot_start_;
+        if (pos_p >= n)
+            pos_p -= n;
+        unsigned pos_t = ticking_ + n - rot_start_;
+        if (pos_t >= n)
+            pos_t -= n;
+        if (pos_p < pos_t)
+            to = cycle_ + 1;
+    }
+    catchUpQuiet(p, to);
+    // Even a zero-length catch-up expires the cached quiet promise:
+    // the mutation may turn a promised quiet hit into a miss.
+    dirty_mask_ |= std::uint32_t{1} << p;
+}
+
+bool
+Simulator::serviceSlot(unsigned idx)
+{
+    const std::uint32_t bit = std::uint32_t{1} << idx;
+    // A boundary invalidated since its last refresh (wakes, hook
+    // touches, an earlier slot's tick) must be recomputed before the
+    // due test: the mutation may have created business at this very
+    // cycle.
+    if (dirty_mask_ & bit)
+        refreshEff(idx);
+    // Spin/stall retries carry rot_ 0 (they retry every exact cycle,
+    // like the event engine); woken or touched processors and due
+    // local-clock boundaries land exactly on cycle_.
+    if (rot_[idx] > cycle_)
+        return false;
+    catchUp(idx, cycle_);
+    Processor &p = *procs_[idx];
+    if (p.done())
+        return false;
+    ticking_ = idx;
+    p.tick(cycle_);
+    local_[idx] = cycle_ + 1;
+    dirty_mask_ |= bit;
+    return true;
+}
+
+void
+Simulator::runExactCycleParallel(bool bus_may_act)
+{
+    if (bus_may_act)
+        mem_->tick(cycle_);
+    const auto n = static_cast<unsigned>(procs_.size());
+    const unsigned idx =
+        proc_mask_ != 0 ? static_cast<unsigned>(cycle_) & proc_mask_
+                        : static_cast<unsigned>(cycle_ % n);
+    rot_start_ = idx; // hookTouch derives slot positions from this.
+    // Visit set: every processor whose boundary may be due this cycle.
+    // A clean boundary answers the due test in the branchless build
+    // below; a dirty one is stale (the bus tick above may have woken
+    // or touched its owner), so dirty processors are visited
+    // unconditionally and recomputed at their slot. The rotation then
+    // services only the visited slots — on the contended fig2 run
+    // fewer than two per exact cycle — instead of walking all n, which
+    // is the engine's edge over runExactCycle: a lagging processor
+    // past the frontier is skipped without even loading its state.
+    std::uint32_t visit = dirty_mask_;
+    for (std::uint32_t m = rot_active_ & ~dirty_mask_; m != 0; m &= m - 1) {
+        const auto p = static_cast<unsigned>(std::countr_zero(m));
+        if (rot_[p] <= cycle_)
+            visit |= std::uint32_t{1} << p;
+    }
+    // Slots idx..n-1, then 0..idx-1: ascending bit order within each
+    // half is exactly rotation order. A serviced tick can invalidate
+    // boundaries ahead of it in the rotation (snoop hook touches, a
+    // barrier release); folding dirty_mask_ into the not-yet-serviced
+    // remainder after every tick reruns those due tests against the
+    // refreshed boundary, as the cycle loop's in-order walk would.
+    const std::uint32_t lo_mask = (std::uint32_t{1} << idx) - 1;
+    std::uint32_t hi = visit & ~lo_mask;
+    std::uint32_t lo = visit & lo_mask;
+    while (hi != 0) {
+        const auto p = static_cast<unsigned>(std::countr_zero(hi));
+        hi &= hi - 1;
+        if (serviceSlot(p)) {
+            hi |= dirty_mask_ & ~lo_mask & ~((std::uint32_t{2} << p) - 1);
+            lo |= dirty_mask_ & lo_mask;
+        }
+    }
+    while (lo != 0) {
+        const auto p = static_cast<unsigned>(std::countr_zero(lo));
+        lo &= lo - 1;
+        if (serviceSlot(p))
+            lo |= dirty_mask_ & lo_mask & ~((std::uint32_t{2} << p) - 1);
+    }
+    ticking_ = kNoProc;
+    closeExactCycle();
+}
+
+bool
+Simulator::stepParallel()
+{
+    prefsim_assert(!local_.empty(),
+                   "stepParallel() requires SimEngine::Parallel");
+    if (allDone())
+        return false;
+
+    // The previous step may have left cycle_ exactly on a sample
+    // boundary. The frame must capture every processor's state as of
+    // the frontier, so lagging clocks settle first; a catch-up that
+    // retires the last trace ends the run un-sampled, mirroring the
+    // other engines (finish() emits the final frame).
+    if (cycle_ == next_sample_) {
+        catchUpAll(cycle_);
+        if (allDone())
+            return false;
+        maybeSample();
+    }
+
+    // Advance the frontier to the next cycle that must execute
+    // exactly: a bus completion, or the earliest local-clock
+    // side-effect boundary. Unlike stepEvent, processors are NOT
+    // fast-forwarded as the frontier moves — their local clocks lag
+    // until a bus epoch, a snoop, a sample boundary or a shard flush
+    // forces the quiet replay (docs/simcore.md gives the safety
+    // argument; SplitBus::epochWindow is the analytical form of the
+    // completion/grant bound computed here).
+    const auto n = static_cast<ProcId>(procs_.size());
+    bool bus_due = true;
+    for (;;) {
+        const Cycle bus_comp = mem_->nextCompletionCycle(cycle_);
+        if (bus_comp == cycle_)
+            break; // A completion is due this very cycle.
+        const Cycle bus_grant = mem_->nextGrantCycle(cycle_);
+        if (bus_grant == cycle_) {
+            // Grant-only cycle: tick the bus and re-derive the bounds
+            // (grants touch nothing a processor can observe before the
+            // completion they schedule, so lagging clocks are safe).
+            mem_->tick(cycle_);
+            continue;
+        }
+        // Lazily refresh the invalidated side-effect boundaries, then
+        // take the frontier bound E = min over processors in one tight
+        // pass (eff_ is kNoCycle for every processor that cannot
+        // constrain the window: blocked, done, spin/stall retries).
+        for (std::uint32_t m = dirty_mask_; m != 0; m &= m - 1)
+            refreshEff(static_cast<ProcId>(std::countr_zero(m)));
+        Cycle e = kNoCycle;
+        for (ProcId p = 0; p < n; ++p)
+            e = std::min(e, eff_[p]);
+        prefsim_assert(e >= cycle_,
+                       "local-clock boundary regressed past the frontier");
+        if (e == cycle_) {
+            // A boundary is due at the frontier. Catch the due
+            // processors up; a walk that ended at the trace's final
+            // record retires here with no exact cycle — the frontier
+            // is then the finish cycle, exactly as in the other
+            // engines — while a genuine side effect demands exactness.
+            bool exact = false;
+            for (ProcId p = 0; p < n; ++p) {
+                if (eff_[p] != cycle_)
+                    continue;
+                catchUp(p, cycle_);
+                if (!procs_[p]->done())
+                    exact = true;
+            }
+            if (allDone())
+                return false;
+            if (!exact)
+                continue; // Pure retirements; re-derive the bounds.
+            bus_due = false; // nextEventCycle proved the bus idle.
+            break;
+        }
+        Cycle target = std::min(bus_comp, e);
+        if (target == kNoCycle && bus_grant == kNoCycle) {
+            // Every processor is blocked and the bus is idle: nothing
+            // can ever wake anyone. The cycle loop would spin to the
+            // watchdog window and conclude the same.
+            reportDeadlock("no progress possible: every processor is "
+                           "blocked and the bus is idle");
+        }
+        // A sample boundary bounds the frontier jump too (clamped
+        // after the deadlock check: a boundary is not progress).
+        if (next_sample_ < target)
+            target = next_sample_;
+        // Fold grant cycles inside the window, exactly as stepEvent
+        // does: each grant schedules a completion that may tighten the
+        // window end, and rescues the all-blocked-but-grants-pending
+        // case.
+        Cycle bus_next = bus_comp;
+        for (Cycle g = bus_grant; g < target;
+             g = mem_->nextGrantCycle(g)) {
+            mem_->tick(g);
+            bus_next = std::min(bus_next, mem_->nextCompletionCycle(g));
+            target = std::min(target, bus_next);
+        }
+        cycle_ = target;
+        // With a shard pool, periodically flush the lagging clocks so
+        // the quiet replay runs wide across the workers instead of
+        // serially inside the next snoop hook or sample boundary.
+        if (pool_ && cycle_ - last_flush_ >= kShardFlushInterval) {
+            last_flush_ = cycle_;
+            catchUpAll(cycle_);
+            if (allDone())
+                return false;
+        }
+        if (cycle_ == next_sample_) {
+            catchUpAll(cycle_);
+            if (allDone())
+                return false;
+            maybeSample();
+        }
+        // Frontier landed on the completion bound: a completion is due
+        // this very cycle, so skip the re-derivation pass (due
+        // boundaries that coincide with it are picked up by the
+        // rotation's due test, and catch-up dirt refreshes at its
+        // slot). A boundary- or sample-bound jump re-enters the loop.
+        if (cycle_ == bus_next)
+            break;
+    }
+    runExactCycleParallel(bus_due);
+    return !allDone();
+}
+
 SimStats
 Simulator::run()
 {
     if (config_.engine == SimEngine::CycleLoop) {
         while (stepCycle()) {
         }
-    } else {
+    } else if (config_.engine == SimEngine::EventDriven) {
         while (stepEvent()) {
+        }
+    } else {
+        while (stepParallel()) {
         }
     }
     const Cycle done_at = cycle_;

@@ -11,11 +11,13 @@
 #ifndef PREFSIM_SIM_SIMULATOR_HH
 #define PREFSIM_SIM_SIMULATOR_HH
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/cache_geometry.hh"
+#include "common/thread_pool.hh"
 #include "common/types.hh"
 #include "mem/split_bus.hh"
 #include "obs/obs.hh"
@@ -29,7 +31,7 @@ namespace prefsim
 {
 
 /**
- * Simulation core selection. Both engines produce bit-identical
+ * Simulation core selection. All engines produce bit-identical
  * SimStats on every input (asserted by tests/test_simcore.cc and a
  * scripts/check.sh stage); see docs/simcore.md for the safety
  * argument.
@@ -42,6 +44,12 @@ enum class SimEngine : std::uint8_t
     /** Compute the next cycle at which anything observable can happen
      *  and fast-forward across the provably inert gap (default). */
     EventDriven,
+    /** Conservative-PDES core: each processor advances on its own
+     *  local clock through provably inert work and synchronises only
+     *  at bus-epoch boundaries (SplitBus::epochWindow). With
+     *  SimConfig::shards > 1 the catch-up work is executed by a
+     *  ThreadPool, partitioned per processor. */
+    Parallel,
 };
 
 /** Hardware configuration of one simulation (paper §3.3 defaults). */
@@ -88,6 +96,17 @@ struct SimConfig
      * exists as the oracle for differential tests and debugging.
      */
     SimEngine engine = SimEngine::EventDriven;
+    /**
+     * Worker shards for the Parallel engine (ignored by the others):
+     * processors are partitioned `proc % shards` across a ThreadPool
+     * and their local-clock catch-up work runs concurrently — the
+     * quiet work of distinct processors touches disjoint state, so the
+     * merge is a no-op and results are shard-count-invariant. 1 (the
+     * default) keeps every catch-up on the calling thread. Like
+     * `engine`, excluded from the experiment cache key: results are
+     * identical by contract at every shard count.
+     */
+    unsigned shards = 1;
     /**
      * Instrumentation backplane (not owned; must outlive the run). Null
      * — the default — leaves every component uninstrumented: no
@@ -139,6 +158,16 @@ class Simulator
      */
     bool stepEvent();
 
+    /**
+     * Single-step the conservative-PDES core: advance the frontier to
+     * the next bus completion or local-clock side-effect boundary
+     * without touching lagging processors, then execute that cycle
+     * exactly (catching up exactly the processors it involves).
+     * Statistics are bit-identical to the equivalent stepCycle()
+     * sequence. @return true while active.
+     */
+    bool stepParallel();
+
     Cycle currentCycle() const { return cycle_; }
     const MemorySystem &memory() const { return *mem_; }
     MemorySystem &memory() { return *mem_; }
@@ -183,6 +212,54 @@ class Simulator
         }
     }
 
+    /** Advance cycle_ past the exact cycle just executed and run the
+     *  progress watchdog (shared tail of every exact-cycle path). */
+    void closeExactCycle();
+
+    /** Execute cycle_ exactly for the Parallel engine: bus tick, then
+     *  a rotation that services only the processors with business this
+     *  cycle — spin/stall retries, woken or hook-touched processors,
+     *  and local clocks whose side-effect boundary is due — catching
+     *  each up to the frontier first. Lagging quiet processors are
+     *  skipped entirely (the engine's speedup). */
+    void runExactCycleParallel(bool bus_may_act);
+
+    /** Service one rotation slot of the current exact cycle: refresh a
+     *  dirty boundary, run the due test, and when due catch the
+     *  processor up and tick it. Returns true when a tick executed
+     *  (only a tick can invalidate boundaries ahead of it in the
+     *  rotation). */
+    bool serviceSlot(unsigned idx);
+
+    /** Retire processor @p p's provably quiet work over
+     *  [local_[p], to) in one step and move its local clock to @p to.
+     *  Legal whenever to <= eff_[p] (the promised side-effect
+     *  boundary); no-op when the clock is already there. Returns true
+     *  when the clock actually advanced (the caller owns marking the
+     *  boundary dirty — shard workers accumulate their own flags). */
+    bool catchUpQuiet(ProcId p, Cycle to);
+
+    /** catchUpQuiet() plus the dirty-boundary bookkeeping (main-thread
+     *  callers only: dirty_mask_ is not written from shard workers). */
+    void catchUp(ProcId p, Cycle to);
+
+    /** Catch every processor up to @p to — on the shard pool when one
+     *  exists, processors partitioned p % shards (their quiet work is
+     *  disjoint, so the order and interleaving are unobservable). */
+    void catchUpAll(Cycle to);
+
+    /** MemorySystem is about to mutate processor @p p's cache from
+     *  outside (remote invalidation/downgrade or a fill completing):
+     *  replay all of p's quiet work that precedes the mutation in
+     *  cycle-loop order — everything before cycle_, plus cycle_ itself
+     *  when p's rotation slot precedes the currently ticking
+     *  processor's — and expire its cached side-effect boundary. */
+    void hookTouch(ProcId p);
+
+    /** Recompute eff_[p] and rot_[p] from processor @p p's live state
+     *  and clear its dirty flag. */
+    void refreshEff(ProcId p);
+
     /** Sum of processor progress counters + bus grants. */
     std::uint64_t progressSum() const;
 
@@ -197,8 +274,11 @@ class Simulator
     std::vector<std::unique_ptr<Processor>> procs_;
     Cycle cycle_ = 0;
     /** Processors that have retired their whole trace (bumped by the
-     *  processors themselves via Processor::setDoneCounter). */
-    std::size_t done_count_ = 0;
+     *  processors themselves via Processor::setDoneCounter). Atomic
+     *  because a sharded catch-up may retire a trace's final record on
+     *  a worker thread; the other engines pay one uncontended atomic
+     *  increment per processor per run. */
+    std::atomic<std::size_t> done_count_{0};
     /** CycleLoop: service every live processor each cycle (blocked
      *  ones count stalls eagerly). EventDriven: skip blocked
      *  processors; their stalls settle lazily at wake. */
@@ -220,6 +300,45 @@ class Simulator
     std::uint64_t last_progress_value_ = 0;
     bool warmup_done_ = false;
     Cycle warmup_end_ = 0;
+
+    /** @name Parallel-engine state (allocated only by the constructor
+     * when the engine is Parallel).
+     * local_[p] is the cycle up to which p's work has actually been
+     * executed (always <= cycle_, the frontier). eff_[p] caches the
+     * absolute cycle of p's next possible side effect as the frontier
+     * bound E = min eff_ sees it: kNoCycle for every processor that
+     * cannot constrain the window (blocked, done, spinning on a held
+     * lock, stalled on the prefetch queue). rot_[p] caches the same
+     * boundary as the exact-cycle rotation sees it: the boundary for
+     * Running processors, 0 for spin/stall retries (serviced at every
+     * exact cycle, like the event engine ticks them) and kNoCycle for
+     * blocked/done processors — so the rotation's due test is a single
+     * compare against the frontier. Both are recomputed lazily when
+     * p's bit in dirty_mask_ is set (ticks, wakes, hook touches and
+     * catch-ups mark it). The mask is written only on the main thread;
+     * shard workers accumulate their own flags and catchUpAll() folds
+     * them in after the join. @{ */
+    std::vector<Cycle> local_;
+    std::vector<Cycle> eff_;
+    std::vector<Cycle> rot_;
+    std::uint32_t dirty_mask_ = 0;
+    /** Bit per processor whose rot_ is finite (kept by refreshEff):
+     *  the exact-cycle rotation's due-test scan iterates only these —
+     *  blocked, done and lock-spinning processors drop out entirely. */
+    std::uint32_t rot_active_ = 0;
+    /** numProcs - 1 when the processor count is a power of two (the
+     *  rotation start is then cycle_ & proc_mask_, skipping a 64-bit
+     *  modulo per exact cycle); 0 forces the modulo path. */
+    unsigned proc_mask_ = 0;
+    /** Service slot of processor 0 in the rotation currently running
+     *  (cycle_ % numProcs, cached so the snoop hook's slot-order test
+     *  needs no divisions). Only meaningful while ticking_ != kNoProc. */
+    unsigned rot_start_ = 0;
+    /** Shard pool (null when shards <= 1: catch-up stays inline). */
+    std::unique_ptr<ThreadPool> pool_;
+    /** Frontier cycle of the last batched catch-up flush. */
+    Cycle last_flush_ = 0;
+    /** @} */
 };
 
 /** Convenience one-shot: build a Simulator and run it. */

@@ -1,11 +1,13 @@
 /**
  * @file
- * Differential tests for the two simulation cores.
+ * Differential tests for the three simulation cores.
  *
- * The event-driven engine (SimEngine::EventDriven) must produce
- * statistics *bit-identical* to the reference cycle loop
- * (SimEngine::CycleLoop) on every input — that is its contract (see
- * docs/simcore.md). These tests enforce it two ways:
+ * The event-driven engine (SimEngine::EventDriven) and the
+ * conservative-PDES engine (SimEngine::Parallel, run at shard counts
+ * 1, 2 and numProcs) must produce statistics *bit-identical* to the
+ * reference cycle loop (SimEngine::CycleLoop) on every input — that is
+ * their contract (see docs/simcore.md). These tests enforce it two
+ * ways:
  *
  *  - a workload matrix: every generator × {NP, PREF, PWS}, plus
  *    configuration variants that exercise the folding paths the
@@ -84,16 +86,29 @@ fingerprint(const SimStats &s)
     return os.str();
 }
 
-/** Run @p trace under both engines and require identical statistics. */
+/** Run @p trace under all three engines — the parallel core at shard
+ *  counts 1, 2 and numProcs — and require identical statistics. */
 void
 expectEnginesAgree(const ParallelTrace &trace, SimConfig cfg,
                    const std::string &what)
 {
     cfg.engine = SimEngine::CycleLoop;
     const SimStats oracle = simulate(trace, cfg);
+    const std::string want = fingerprint(oracle);
     cfg.engine = SimEngine::EventDriven;
     const SimStats event = simulate(trace, cfg);
-    EXPECT_EQ(fingerprint(oracle), fingerprint(event)) << what;
+    EXPECT_EQ(want, fingerprint(event)) << what << " [event]";
+    cfg.engine = SimEngine::Parallel;
+    const unsigned nproc = static_cast<unsigned>(trace.numProcs());
+    for (unsigned shards : {1u, 2u, nproc}) {
+        if (shards == 0)
+            continue; // Zero-proc traces are rejected upstream anyway.
+        cfg.shards = shards;
+        const SimStats par = simulate(trace, cfg);
+        EXPECT_EQ(want, fingerprint(par))
+            << what << " [parallel, shards=" << shards << "]";
+    }
+    cfg.shards = 1;
 }
 
 /* ------------------------------------------------------------------ */
@@ -440,6 +455,108 @@ TEST(BusEventQueries, AddressClassCompletesWithoutGrant)
     // after the (short) address-bus occupancy.
     EXPECT_EQ(h.bus.nextCompletionCycle(10), 10 + t.upgradeOccupancy);
     EXPECT_EQ(h.bus.nextGrantCycle(10), kNoCycle);
+}
+
+/* ------------------------------------------------------------------ */
+/* Conservative-PDES lookahead and grant determinism                   */
+/* ------------------------------------------------------------------ */
+
+TEST(ConservativeLookahead, RequestLookaheadIsContentionFreeFloor)
+{
+    // The floor is the cheapest completion any future request could
+    // reach: min over the address-class occupancy and a writeback's
+    // same-cycle grant + transfer.
+    EXPECT_EQ((BusTiming{100, 8, 2}.requestLookahead()), Cycle{2});
+    EXPECT_EQ((BusTiming{100, 1, 4}.requestLookahead()), Cycle{1});
+    EXPECT_EQ((BusTiming{50, 3, 3}.requestLookahead()), Cycle{3});
+}
+
+TEST(ConservativeLookahead, EpochWindowOnIdleBusIsTheLookahead)
+{
+    const BusTiming t{100, 8, 2};
+    BusProbe h(t);
+    // Nothing owned by the bus: only a not-yet-issued request bounds
+    // the window, and it cannot complete before now + lookahead.
+    EXPECT_EQ(h.bus.epochWindow(0), t.requestLookahead());
+    EXPECT_EQ(h.bus.epochWindow(500), 500 + t.requestLookahead());
+    EXPECT_GT(h.bus.epochWindow(500), Cycle{500}); // Never empty.
+}
+
+TEST(ConservativeLookahead, EpochWindowClampsToPendingCompletion)
+{
+    const BusTiming t{100, 8, 2};
+    BusProbe h(t);
+    // An upgrade issued at cycle 10 completes at 12 — exactly the
+    // lookahead bound seen from 10, and strictly inside it seen
+    // from 11.
+    h.bus.request(h.make(BusOpKind::Upgrade, 1, 0x2000), 10);
+    EXPECT_EQ(h.bus.epochWindow(10), Cycle{12});
+    EXPECT_EQ(h.bus.epochWindow(11), Cycle{12});
+}
+
+TEST(ConservativeLookahead, GrantOrderIndependentOfArrivalOrder)
+{
+    // The parallel engine's shards may race their way into request()
+    // in any interleaving; arbitration must grant identically anyway.
+    // Enqueue the same four same-cycle demand reads in opposite orders
+    // and require the completion sequence (grant order: one channel,
+    // equal transfer times) to match exactly.
+    const BusTiming t{100, 8, 2};
+    const ProcId arrival[4] = {2, 0, 3, 1};
+    std::vector<ProcId> order[2];
+    for (int perm = 0; perm < 2; ++perm) {
+        BusProbe h(t);
+        std::vector<ProcId> &got = order[perm];
+        h.bus.setCompletion([&got](const Transaction &txn, Cycle) {
+            got.push_back(txn.requester);
+        });
+        for (int i = 0; i < 4; ++i) {
+            const ProcId p = perm ? arrival[3 - i] : arrival[i];
+            h.bus.request(
+                h.make(BusOpKind::ReadShared, p, 0x1000 * (p + 1)), 0);
+        }
+        for (Cycle c = 0; h.bus.busy(); ++c) {
+            ASSERT_LT(c, t.totalLatency + 8 * t.dataTransfer);
+            h.bus.tick(c);
+        }
+        ASSERT_EQ(got.size(), 4u) << "perm=" << perm;
+    }
+    EXPECT_EQ(order[0], order[1]);
+}
+
+TEST(ConservativeLookahead, OwnerlessRanksAfterEveryProcessor)
+{
+    // A requester-less writeback must never tie with processor 0's
+    // round-robin rank: it ranks strictly after every processor, so a
+    // same-cycle demand read wins the only data channel regardless of
+    // which request() call came first.
+    const BusTiming t{100, 8, 2};
+    for (int wb_first = 0; wb_first < 2; ++wb_first) {
+        BusProbe h(t);
+        std::vector<ProcId> got;
+        h.bus.setCompletion([&got](const Transaction &txn, Cycle) {
+            got.push_back(txn.requester);
+        });
+        const Transaction wb = h.make(BusOpKind::WriteBack, kNoProc, 0x4000);
+        const Transaction rd = h.make(BusOpKind::ReadShared, 3, 0x5000);
+        if (wb_first) {
+            h.bus.request(wb, 0);
+            h.bus.request(rd, 0);
+        } else {
+            h.bus.request(rd, 0);
+            h.bus.request(wb, 0);
+        }
+        // A writeback is ready immediately; the read only after its
+        // memory phase. Tick from the read's ready cycle so both sit
+        // in the queue at arbitration time.
+        for (Cycle c = t.memoryPhase(); h.bus.busy(); ++c) {
+            ASSERT_LT(c, 4 * t.totalLatency);
+            h.bus.tick(c);
+        }
+        ASSERT_EQ(got.size(), 2u);
+        EXPECT_EQ(got[0], ProcId{3}) << "wb_first=" << wb_first;
+        EXPECT_EQ(got[1], kNoProc) << "wb_first=" << wb_first;
+    }
 }
 
 } // namespace

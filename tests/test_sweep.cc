@@ -15,7 +15,7 @@
 
 #include "core/result_io.hh"
 #include "core/sweep.hh"
-#include "core/thread_pool.hh"
+#include "common/thread_pool.hh"
 #include "stats/json.hh"
 
 namespace prefsim

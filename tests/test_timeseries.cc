@@ -6,10 +6,13 @@
  * The load-bearing contracts:
  *  - sampling must not perturb simulation results at all — statistics
  *    with sampling on (any interval) are bit-identical to sampling off;
- *  - both engines emit *byte-identical* `prefsim-timeseries-v1` JSON:
- *    the event engine clamps its fast-forward windows to sample
+ *  - all three engines emit *byte-identical* `prefsim-timeseries-v1`
+ *    JSON: the event engine clamps its fast-forward windows to sample
  *    boundaries and settles lazy stall counters into exactly the
- *    frames the eager cycle loop captures. Interval 1 is the harshest
+ *    frames the eager cycle loop captures, and the parallel engine
+ *    (exercised sharded, at --shards 4) additionally catches every
+ *    lagging local clock up to each boundary before the frame is
+ *    taken. Interval 1 is the harshest
  *    case (every cycle is a boundary, including the warmup rebase);
  *    a prime interval lands boundaries mid-burst; an interval longer
  *    than the run leaves only finish()'s partial row;
@@ -68,11 +71,12 @@ statsFingerprint(const SimStats &s)
 /** Simulate with sampling on and return (stats, timeseries JSON). */
 std::pair<SimStats, std::string>
 runSampled(const ParallelTrace &trace, SimConfig cfg, SimEngine engine,
-           Cycle interval)
+           Cycle interval, unsigned shards = 1)
 {
     ObsContext obs;
     cfg.obs = &obs;
     cfg.engine = engine;
+    cfg.shards = shards;
     cfg.sampleInterval = interval;
     cfg.traceLabel = "test";
     const SimStats stats = simulate(trace, cfg);
@@ -110,11 +114,19 @@ TEST_P(TimeseriesEngineIdentity, SeriesAndStatsBitIdentical)
         runSampled(trace, cfg, SimEngine::CycleLoop, interval);
     const auto [event_stats, event_json] =
         runSampled(trace, cfg, SimEngine::EventDriven, interval);
+    // Sharded parallel engine: local clocks must clamp their catch-up
+    // spans to sample boundaries just like the event core's windows.
+    const auto [par_stats, par_json] =
+        runSampled(trace, cfg, SimEngine::Parallel, interval, 4);
 
     EXPECT_EQ(statsFingerprint(cycle_stats),
               statsFingerprint(event_stats));
     EXPECT_EQ(cycle_json, event_json)
         << "engines emitted different series at interval " << interval;
+    EXPECT_EQ(statsFingerprint(cycle_stats), statsFingerprint(par_stats));
+    EXPECT_EQ(cycle_json, par_json)
+        << "parallel engine (shards=4) series diverged at interval "
+        << interval;
     EXPECT_NE(cycle_json.find("\"samples\""), std::string::npos);
 }
 
@@ -132,13 +144,16 @@ TEST(TimeseriesSampling, DoesNotPerturbSimulation)
     cfg.timing.dataTransfer = 8;
 
     for (const SimEngine engine :
-         {SimEngine::CycleLoop, SimEngine::EventDriven}) {
+         {SimEngine::CycleLoop, SimEngine::EventDriven,
+          SimEngine::Parallel}) {
+        const unsigned shards = engine == SimEngine::Parallel ? 4 : 1;
         SimConfig plain = cfg;
         plain.engine = engine;
+        plain.shards = shards;
         const std::string off = statsFingerprint(simulate(trace, plain));
         for (const Cycle interval : {Cycle{1}, Cycle{113}}) {
             const auto [stats, json] =
-                runSampled(trace, cfg, engine, interval);
+                runSampled(trace, cfg, engine, interval, shards);
             EXPECT_EQ(off, statsFingerprint(stats))
                 << "sampling at interval " << interval
                 << " changed the simulation";
