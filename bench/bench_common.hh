@@ -22,6 +22,8 @@
  *   --timeseries-out F  write the prefsim-timeseries-v1 JSON document
  *                    to F (defaults --sample-interval to 10000 when not
  *                    given explicitly)
+ *   --profile-out F  write the prefsim-profile-v1 per-line contention
+ *                    attribution JSON document to F
  *
  * parseBenchArgs handles the full set in a single pass, so flags can be
  * given in any order; makeEngine turns the result into a SweepEngine.
@@ -59,6 +61,8 @@ struct BenchOptions
     std::string traceOut;
     /** Interval time-series JSON destination (empty = none). */
     std::string timeseriesOut;
+    /** Per-line attribution profile JSON destination (empty = none). */
+    std::string profileOut;
 };
 
 /**
@@ -142,6 +146,9 @@ parseBenchArgs(int argc, char **argv,
             opts.sweep.sampleInterval = nextUint();
         } else if (arg == "--timeseries-out") {
             opts.timeseriesOut = next();
+        } else if (arg == "--profile-out") {
+            opts.profileOut = next();
+            opts.sweep.profile = true;
         } else if (arg == "--help" || arg == "-h") {
             std::cout
                 << "usage: " << (argc > 0 ? argv[0] : "bench")
@@ -174,7 +181,9 @@ parseBenchArgs(int argc, char **argv,
                    "  --sample-interval N  interval time-series sample "
                    "every N cycles (0 = off)\n"
                    "  --timeseries-out F  write prefsim-timeseries-v1 "
-                   "JSON to F\n";
+                   "JSON to F\n"
+                   "  --profile-out F  write prefsim-profile-v1 per-line "
+                   "attribution JSON to F\n";
             std::exit(0);
         } else if (positional && arg.rfind("--", 0) != 0) {
             positional->push_back(arg);
@@ -232,6 +241,21 @@ emitBenchTelemetry(const BenchOptions &opts, const SweepEngine &engine)
             engine.writeTimeseriesJson(out);
             prefsim_inform("wrote interval time series to ",
                            opts.timeseriesOut);
+        }
+    }
+    if (!opts.profileOut.empty()) {
+        const ObsContext *obs = engine.obs();
+        if (obs == nullptr || obs->profile.empty()) {
+            prefsim_warn("--profile-out: no profile runs recorded");
+        }
+        std::ofstream out(opts.profileOut,
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            prefsim_warn("cannot write profile file ", opts.profileOut);
+        } else {
+            engine.writeProfileJson(out);
+            prefsim_inform("wrote attribution profile to ",
+                           opts.profileOut);
         }
     }
     if (!opts.traceOut.empty()) {

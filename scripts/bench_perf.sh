@@ -7,14 +7,20 @@
 # low-contention regime where fast-forward windows are long and the
 # event and parallel engines' advantage is largest.
 #
+# Single-run timing is noisy (15-30% VM jitter), so every
+# configuration runs --trials times (default 3) and the trial with the
+# median sim-only time is what the report records.
+#
 # Usage: scripts/bench_perf.sh [--refs N] [--out FILE] [--build DIR]
-#        [--shards N]
+#        [--shards N] [--trials N]
 #   --refs N    demand references per processor (default 100000, the
 #               acceptance configuration; use a small N for smoke runs)
 #   --out FILE  report destination (default BENCH_simcore.json)
 #   --build DIR build directory (default build)
 #   --shards N  worker shards for the parallel-engine runs
 #               (default: nproc)
+#   --trials N  runs per configuration; the median is reported
+#               (default 3)
 #
 # Engine results are identical by contract, so the experiment cache
 # would serve one engine's numbers to the other; every run below uses
@@ -24,12 +30,14 @@ REFS=100000
 OUT=BENCH_simcore.json
 BUILD=build
 SHARDS=$(nproc)
+TRIALS=3
 while [ $# -gt 0 ]; do
     case "$1" in
         --refs) REFS=$2; shift 2 ;;
         --out) OUT=$2; shift 2 ;;
         --build) BUILD=$2; shift 2 ;;
         --shards) SHARDS=$2; shift 2 ;;
+        --trials) TRIALS=$2; shift 2 ;;
         *) echo "unknown option: $1" >&2; exit 1 ;;
     esac
 done
@@ -43,63 +51,83 @@ fi
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP" "$OUT.tmp"' EXIT
 
-# One benchmark run: wall-clock it, pull the simulation volume out of
-# the sweep telemetry, and append a JSON fragment for the report.
-# Fails fast — a crashed run, a missing metrics file or zero parsed
-# simulation volume aborts the script before a partial or misleading
-# report can be written (the report only moves into place at the end).
+# One benchmark configuration: run it $TRIALS times, wall-clock each
+# trial, pull the simulation volume out of the sweep telemetry, pick
+# the trial with the median sim-only time, and append a JSON fragment
+# for the report. Fails fast — a crashed run, a missing metrics file
+# or zero parsed simulation volume aborts the script before a partial
+# or misleading report can be written (the report only moves into
+# place at the end).
 # $1 = label, $2 = engine, $3 = procs, $4 = shards (default 1)
 run_one() {
     label=$1
     engine=$2
     procs=$3
     shards=${4:-1}
-    start=$(date +%s.%N)
-    if ! "$BENCH" --refs "$REFS" --procs "$procs" --engine "$engine" \
-        --shards "$shards" \
-        --no-cache --quiet --metrics-out "$TMP/$label.metrics.json" \
-        > /dev/null; then
-        echo "error: $label run crashed (exit $?)" >&2
-        exit 1
-    fi
-    end=$(date +%s.%N)
-    if [ ! -s "$TMP/$label.metrics.json" ]; then
-        echo "error: $label run wrote no metrics file" >&2
-        exit 1
-    fi
-    # grep -o keeps this POSIX-sh + awk only; the telemetry writer
-    # emits compact one-line JSON.
-    cycles=$(grep -o '"simulated_cycles":[0-9]*' "$TMP/$label.metrics.json" \
-        | cut -d: -f2)
-    refs=$(grep -o '"simulated_refs":[0-9]*' "$TMP/$label.metrics.json" \
-        | cut -d: -f2)
-    simns=$(grep -o '"simulate_nanos":[0-9]*' "$TMP/$label.metrics.json" \
-        | cut -d: -f2)
-    for field in "cycles:$cycles" "refs:$refs" "simulate_nanos:$simns"; do
-        case "${field#*:}" in
-            ''|0)
-                echo "error: $label metrics missing ${field%%:*}" \
-                     "(truncated telemetry?)" >&2
-                exit 1 ;;
-        esac
+    : > "$TMP/$label.trials.txt"
+    i=1
+    while [ "$i" -le "$TRIALS" ]; do
+        metrics="$TMP/$label.$i.metrics.json"
+        start=$(date +%s.%N)
+        if ! "$BENCH" --refs "$REFS" --procs "$procs" --engine "$engine" \
+            --shards "$shards" \
+            --no-cache --quiet --metrics-out "$metrics" \
+            > /dev/null; then
+            echo "error: $label trial $i crashed (exit $?)" >&2
+            exit 1
+        fi
+        end=$(date +%s.%N)
+        if [ ! -s "$metrics" ]; then
+            echo "error: $label trial $i wrote no metrics file" >&2
+            exit 1
+        fi
+        # grep -o keeps this POSIX-sh + awk only; the telemetry writer
+        # emits compact one-line JSON.
+        cycles=$(grep -o '"simulated_cycles":[0-9]*' "$metrics" \
+            | cut -d: -f2)
+        refs=$(grep -o '"simulated_refs":[0-9]*' "$metrics" \
+            | cut -d: -f2)
+        simns=$(grep -o '"simulate_nanos":[0-9]*' "$metrics" \
+            | cut -d: -f2)
+        for field in "cycles:$cycles" "refs:$refs" \
+                     "simulate_nanos:$simns"; do
+            case "${field#*:}" in
+                ''|0)
+                    echo "error: $label trial $i metrics missing" \
+                         "${field%%:*} (truncated telemetry?)" >&2
+                    exit 1 ;;
+            esac
+        done
+        awk -v s="$start" -v t="$end" -v n="$simns" -v c="$cycles" \
+            -v r="$refs" \
+            'BEGIN { printf "%.6f %.6f %d %d\n", n / 1e9, t - s, c, r }' \
+            >> "$TMP/$label.trials.txt"
+        i=$((i + 1))
     done
+    # The median trial, ranked on sim-only seconds (column 1).
+    median=$(sort -n "$TMP/$label.trials.txt" \
+        | awk -v m=$(( (TRIALS + 1) / 2 )) 'NR == m')
+    set -- $median
+    simonly=$1
+    wall=$2
+    cycles=$3
+    refs=$4
     awk -v l="$label" -v e="$engine" -v p="$procs" -v h="$shards" \
-        -v s="$start" \
-        -v t="$end" -v c="$cycles" -v r="$refs" -v n="$simns" 'BEGIN {
-        w = t - s
+        -v k="$TRIALS" \
+        -v w="$wall" -v c="$cycles" -v r="$refs" -v so="$simonly" 'BEGIN {
         printf "\"%s\":{\"engine\":\"%s\",\"procs\":%d,", l, e, p
-        printf "\"shards\":%d,", h
-        printf "\"wall_s\":%.3f,\"sim_only_s\":%.3f,", w, n / 1e9
+        printf "\"shards\":%d,\"trials\":%d,", h, k
+        printf "\"wall_s\":%.3f,\"sim_only_s\":%.3f,", w, so
         printf "\"sim_cycles\":%d,\"sim_refs\":%d,", c, r
         printf "\"cycles_per_s\":%.0f,\"refs_per_s\":%.0f}", c / w, r / w
     }' >> "$TMP/runs.json"
     # Keyed sim-only seconds for the speedup block below: label-addressed,
     # never positional (a reordered or added run must not corrupt the
     # ratios).
-    awk -v l="$label" -v n="$simns" \
-        'BEGIN { printf "%s %.6f\n", l, n / 1e9 }' >> "$TMP/simonly.txt"
-    echo "$label: $(awk -v s="$start" -v t="$end" \
-        'BEGIN { printf "%.1f", t - s }')s wall"
+    awk -v l="$label" -v so="$simonly" \
+        'BEGIN { printf "%s %.6f\n", l, so }' >> "$TMP/simonly.txt"
+    echo "$label: $(awk -v w="$wall" \
+        'BEGIN { printf "%.1f", w }')s wall (median of $TRIALS trials)"
 }
 
 echo "== simcore throughput (refs=$REFS, shards=$SHARDS, report: $OUT)"
@@ -118,7 +146,7 @@ run_one micro3_parallel parallel 3 "$SHARDS"
 {
     printf '{"schema":"prefsim-bench-simcore-v1",'
     printf '"bench":"bench_fig2_exec_time","refs_per_proc":%s,' "$REFS"
-    printf '"shards":%s,' "$SHARDS"
+    printf '"shards":%s,"trials":%s,' "$SHARDS" "$TRIALS"
     printf '"runs":{'
     cat "$TMP/runs.json"
     printf '},'

@@ -6,8 +6,9 @@
 #      reference cycle loop, byte-compared) + simulation-core throughput
 #      smoke + the
 #      perf-regression gate (fresh bench_perf.sh vs the checked-in
-#      BENCH_simcore.json, via prefsim_report --compare) + telemetry
-#      and interval time-series validation;
+#      BENCH_simcore.json, via prefsim_report --compare) + telemetry,
+#      interval time-series and per-line attribution-profile
+#      validation (the latter byte-compared cycle vs parallel);
 #   2. the verification layer: exhaustive protocol model checking
 #      (2- and 3-cache), seeded-mutation detection, and the trace
 #      linter over all five workload generators;
@@ -158,6 +159,32 @@ if [ "$TS_ELAPSED" -gt 300 ]; then
     exit 1
 fi
 echo "ok: interval time series validates in ${TS_ELAPSED}s (budget 300s)"
+
+stage "profile validation"
+# Per-line contention attribution over one fig2 config. The validator
+# checks the prefsim-profile-v1 shape and the totals-vs-rows
+# consistency; the cycle and parallel (--shards 4) engines must emit
+# byte-identical profile documents, which is what forces the parallel
+# core's sharded first-use replay to attribute correctly. --no-cache:
+# cached points would record only skip markers.
+PROF_START=$(date +%s)
+"$BUILD"/bench/bench_fig2_exec_time --refs 3000 --procs 8 --quiet \
+    --jobs "$JOBS" --no-cache --engine cycle \
+    --profile-out "$CACHE/profile_cycle.json" > /dev/null
+"$BUILD"/bench/bench_fig2_exec_time --refs 3000 --procs 8 --quiet \
+    --jobs "$JOBS" --no-cache --engine parallel --shards 4 \
+    --profile-out "$CACHE/profile_parallel.json" > /dev/null
+"$BUILD"/tools/validate_telemetry "$CACHE/profile_cycle.json"
+cmp "$CACHE/profile_cycle.json" "$CACHE/profile_parallel.json"
+echo "ok: profile byte-identical cycle vs parallel (shards=4)"
+"$BUILD"/tools/prefsim_report --profile "$CACHE/profile_cycle.json" \
+    --top 5 > /dev/null
+PROF_ELAPSED=$(($(date +%s) - PROF_START))
+if [ "$PROF_ELAPSED" -gt 300 ]; then
+    echo "FAIL: profile stage took ${PROF_ELAPSED}s (budget 300s)" >&2
+    exit 1
+fi
+echo "ok: attribution profile validates in ${PROF_ELAPSED}s (budget 300s)"
 
 # --- the verification layer -------------------------------------------
 stage "protocol model check (2 caches)"

@@ -37,7 +37,7 @@ SweepEngine::SweepEngine(WorkloadParams params, CacheGeometry geometry,
     : params_(params), geometry_(geometry), options_(std::move(options))
 {
     if (options_.metrics || options_.tracing ||
-        options_.sampleInterval > 0) {
+        options_.sampleInterval > 0 || options_.profile) {
         obs_ = std::make_unique<ObsContext>();
         obs_->tracer.setEnabled(options_.tracing);
     }
@@ -203,6 +203,7 @@ SweepEngine::executeBatch(const std::vector<ExperimentSpec> &specs)
             cfg.obs = obs_.get();
             cfg.traceLabel = node.spec->label();
             cfg.sampleInterval = options_.sampleInterval;
+            cfg.profile = options_.profile;
         }
         const auto start = std::chrono::steady_clock::now();
         result->sim = simulate(ann->trace, cfg);
@@ -287,6 +288,21 @@ SweepEngine::tryLoadFromDisk(const ExperimentSpec &spec,
     }
     runs_[key] = std::make_unique<ExperimentResult>(std::move(*result));
     ++counters_.cacheHits;
+    // A cache hit skips simulation, so it produces no time series and
+    // no profile run. Commit explicit `"skipped": "cache-hit"` markers
+    // so downstream tooling can tell "not sampled" from "lost".
+    if (obs_ && options_.sampleInterval > 0) {
+        obs::TimeSeries marker;
+        marker.label = spec.label();
+        marker.skipped = true;
+        obs_->timeseries.commit(std::move(marker));
+    }
+    if (obs_ && options_.profile) {
+        obs::ProfileRun marker;
+        marker.label = spec.label();
+        marker.skipped = true;
+        obs_->profile.commit(std::move(marker));
+    }
     return true;
 }
 
@@ -444,12 +460,20 @@ SweepEngine::writeTelemetryJson(std::ostream &os) const
         j.key("sessions").value(
             static_cast<std::uint64_t>(obs_->tracer.numSessions()));
         j.key("events").value(obs_->tracer.totalEvents());
+        j.key("dropped_events")
+            .value(obs_->metrics.counter("trace.dropped_events").value());
         j.endObject();
         j.key("timeseries").beginObject();
         j.key("interval").value(options_.sampleInterval);
         j.key("runs").value(
             static_cast<std::uint64_t>(obs_->timeseries.numSeries()));
         j.key("samples").value(obs_->timeseries.totalSamples());
+        j.endObject();
+        j.key("profile").beginObject();
+        j.key("enabled").value(options_.profile);
+        j.key("runs").value(
+            static_cast<std::uint64_t>(obs_->profile.numRuns()));
+        j.key("lines").value(obs_->profile.totalLines());
         j.endObject();
     }
     j.endObject();
@@ -466,6 +490,16 @@ SweepEngine::writeTimeseriesJson(std::ostream &os) const
     // Sampling was never enabled: still emit a valid (empty) document
     // so downstream tooling can treat the file uniformly.
     os << "{\"schema\":\"prefsim-timeseries-v1\",\"runs\":[]}\n";
+}
+
+void
+SweepEngine::writeProfileJson(std::ostream &os) const
+{
+    if (obs_) {
+        obs_->profile.writeJson(os);
+        return;
+    }
+    os << "{\"schema\":\"prefsim-profile-v1\",\"runs\":[]}\n";
 }
 
 } // namespace prefsim

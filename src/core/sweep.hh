@@ -64,10 +64,18 @@ struct SweepOptions
     /**
      * Interval time-series sampling period (--sample-interval; 0 = off).
      * Implies an ObsContext; each freshly simulated point commits one
-     * `prefsim-timeseries-v1` series (cache hits skip simulation and so
-     * contribute none — pair with useCache = false for full coverage).
+     * `prefsim-timeseries-v1` series. Cache hits skip simulation and
+     * commit an explicit `"skipped": "cache-hit"` marker run instead —
+     * pair with useCache = false for full coverage.
      */
     Cycle sampleInterval = 0;
+    /**
+     * Per-line contention attribution (--profile-out). Implies an
+     * ObsContext; each freshly simulated point commits one
+     * `prefsim-profile-v1` run (cache hits commit a
+     * `"skipped": "cache-hit"` marker, as above).
+     */
+    bool profile = false;
 };
 
 /** Work accounting: what actually executed vs. came from the cache. */
@@ -183,6 +191,14 @@ class SweepEngine
      * runPending() returns.
      */
     void writeTimeseriesJson(std::ostream &os) const;
+
+    /**
+     * Serialise every committed attribution-profile run as one
+     * `prefsim-profile-v1` document (an empty runs array when profiling
+     * was off). Cache-hit points appear as `"skipped": "cache-hit"`
+     * marker runs. Call after runPending() returns.
+     */
+    void writeProfileJson(std::ostream &os) const;
 
   private:
     /** Execute @p specs (none of which have results yet) as a DAG. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/profile/attribution_profiler.hh"
 
 namespace prefsim
 {
@@ -202,6 +203,9 @@ DataCache::noteDisplaced(const CacheFrame &frame, EvictedLine &evicted,
         owner_cache.markPrefetchLost(frame.tag);
         if (owner_cache.obs_.prefetchLostEvictions)
             owner_cache.obs_.prefetchLostEvictions->inc();
+        if (owner_cache.obs_.profile)
+            owner_cache.obs_.profile->prefetchDisplaced(
+                owner_cache.owner_, frame.tag);
     }
 }
 
@@ -311,6 +315,8 @@ DataCache::parkPrefetchedLine(Addr line_base, LineState state)
         // lines are clean by construction (never written while parked),
         // so no writeback is needed.
         markPrefetchLost(pdb_[slot].tag);
+        if (obs_.profile)
+            obs_.profile->prefetchDisplaced(owner_, pdb_[slot].tag);
     }
     pdb_[slot].beginResidency(line_base, state, /*by_prefetch=*/true);
     pdb_use_[slot] = ++use_clock_;

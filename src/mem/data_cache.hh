@@ -35,6 +35,11 @@
 namespace prefsim
 {
 
+namespace obs
+{
+class AttributionProfiler;
+} // namespace obs
+
 /**
  * Instrumentation hooks for one cache (see obs/obs.hh). The counters
  * are typically shared by every cache of one memory system (machine
@@ -48,6 +53,10 @@ struct CacheObs
     obs::Counter *dirtyEvictions = nullptr;
     /** Subset of evictions displacing prefetched-but-never-used data. */
     obs::Counter *prefetchLostEvictions = nullptr;
+    /** Per-line displaced-prefetch attribution (SimConfig::profile).
+     *  Evictions only happen on fill/install paths, which are never
+     *  replayed quietly — every call lands on the engine main thread. */
+    obs::AttributionProfiler *profile = nullptr;
 };
 
 /** An outstanding miss (fill in flight on the bus). */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/profile/attribution_profiler.hh"
 #include "verify/runtime.hh"
 
 namespace prefsim
@@ -212,6 +213,8 @@ SplitBus::tick(Cycle now)
         const Cycle wait = now - a.pending.readyAt;
         const bool demand =
             a.pending.txn.demandWaiting || !a.pending.txn.isPrefetch;
+        if (obs_.profile)
+            obs_.profile->busGrant(a.pending.txn.lineBase, occ, demand);
         if (demand) {
             stats_.queueWaitDemand += wait;
             ++stats_.grantsDemand;

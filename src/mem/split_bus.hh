@@ -32,6 +32,11 @@
 namespace prefsim
 {
 
+namespace obs
+{
+class AttributionProfiler;
+} // namespace obs
+
 /**
  * Instrumentation hooks for one bus (see obs/obs.hh). All pointers
  * default to null = disabled; each update costs one predictable branch.
@@ -44,6 +49,10 @@ struct BusObs
     obs::Histogram *arbWaitDemand = nullptr;
     /** Cycles a ready prefetch op waited for the data bus. */
     obs::Histogram *arbWaitPrefetch = nullptr;
+    /** Per-line data-bus occupancy attribution (SimConfig::profile).
+     *  Address-class upgrades never reach the grant path, so the
+     *  per-line cycles sum exactly to BusStats::busyCycles. */
+    obs::AttributionProfiler *profile = nullptr;
     /** Per-run event sink (only ever set when PREFSIM_TRACING=1). */
     obs::TraceBuffer *trace = nullptr;
 };

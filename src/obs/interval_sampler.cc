@@ -162,6 +162,11 @@ TimeSeriesStore::writeSeriesJson(JsonWriter &j, const TimeSeries &s)
 {
     j.beginObject();
     j.key("label").value(s.label);
+    if (s.skipped) {
+        j.key("skipped").value("cache-hit");
+        j.endObject();
+        return;
+    }
     j.key("interval").value(s.interval);
     j.key("procs").value(std::uint64_t{s.procs});
     j.key("warmup_end").value(s.warmupEnd);

@@ -117,6 +117,10 @@ struct TimeSeries
     unsigned procs = 0;
     /** Cycle the warmup statistics reset happened (0 = none). */
     Cycle warmupEnd = 0;
+    /** True for a cache-hit placeholder: the sweep loaded this point
+     *  from the on-disk result cache and never simulated it, so there
+     *  are no samples. Serialised as `"skipped": "cache-hit"`. */
+    bool skipped = false;
 
     /** @name Columns (all the same length). Integer columns are exact
      *  per-window deltas or instantaneous values; busUtil is the only

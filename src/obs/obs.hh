@@ -18,6 +18,7 @@
 
 #include "obs/interval_sampler.hh"
 #include "obs/metrics.hh"
+#include "obs/profile/attribution_profiler.hh"
 #include "obs/trace.hh"
 
 namespace prefsim
@@ -31,6 +32,9 @@ struct ObsContext
     /** Finished interval time series (SimConfig::sampleInterval > 0);
      *  serialised as `prefsim-timeseries-v1`. */
     obs::TimeSeriesStore timeseries;
+    /** Finished per-line attribution profiles (SimConfig::profile);
+     *  serialised as `prefsim-profile-v1`. */
+    obs::ProfileStore profile;
 };
 
 } // namespace prefsim

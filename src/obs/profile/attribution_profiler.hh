@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Address-level contention attribution: per-cache-line heat maps,
+ * sharing classification, and prefetch-usefulness accounting.
+ *
+ * The aggregate counters (SimStats) and interval series (IntervalSampler)
+ * say *how much* the bus and the coherence protocol cost; this layer says
+ * *which lines* cost it. An AttributionProfiler is created per simulation
+ * run when SimConfig::profile is set (null-by-default, like the Tracer)
+ * and hangs off the existing hook structs (MemObs / CacheObs / BusObs).
+ * Each hook attributes one event to a cache-line record:
+ *
+ *  - demand misses, split by the Figure 3 taxonomy (non-sharing vs
+ *    invalidation, prefetched-and-lost vs never-prefetched, plus the
+ *    false-sharing subset classified from per-word touch masks);
+ *  - invalidation / downgrade ping-pong chains (true vs false sharing);
+ *  - data-bus occupancy cycles, split demand vs prefetch class;
+ *  - per-prefetch outcomes (issued / useful / late / killed /
+ *    displaced), keyed by line and issuing processor.
+ *
+ * Thread-safety contract: every hook fires on the engine's main thread
+ * — miss classification, coherence probes, bus grants, evictions and
+ * prefetch issue are all non-quiet work — with ONE exception: prefetch
+ * first-use fires inside quiet hit replay, which the parallel engine
+ * runs on worker threads. That one counter is therefore sharded per
+ * processor (workers own disjoint processors), and merged at take().
+ * All counters are additive, so the profile is identical however the
+ * engines interleave the work; serialisation sorts runs by label and
+ * lines by address, giving byte-identical `prefsim-profile-v1` output
+ * across the cycle, event and parallel engines (asserted by
+ * tests/test_profile.cc).
+ */
+
+#ifndef PREFSIM_OBS_PROFILE_ATTRIBUTION_PROFILER_HH
+#define PREFSIM_OBS_PROFILE_ATTRIBUTION_PROFILER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace prefsim
+{
+
+class JsonWriter;
+
+namespace obs
+{
+
+/** Outcome record of every prefetch one processor issued for one line. */
+struct ProfilePrefetch
+{
+    std::uint64_t issued = 0;    ///< Went to the bus.
+    std::uint64_t useful = 0;    ///< Line used before being lost.
+    std::uint64_t late = 0;      ///< Demand attached while in flight.
+    std::uint64_t latenessCycles = 0; ///< Cycles demands waited on them.
+    std::uint64_t killed = 0;    ///< Invalidated before first use.
+    std::uint64_t displaced = 0; ///< Evicted/discarded before first use.
+};
+
+/** Everything attributed to one cache line. */
+struct ProfileLine
+{
+    /** @name Demand-miss taxonomy (MissBreakdown at line granularity).
+     *  prefetchInflight counts demands that attached to an in-flight
+     *  prefetch (the "late" path) rather than missing outright. @{ */
+    std::uint64_t missNonSharing = 0;
+    std::uint64_t missNonSharingPrefetched = 0;
+    std::uint64_t missInvalidation = 0;
+    std::uint64_t missInvalidationPrefetched = 0;
+    std::uint64_t missPrefetchInflight = 0;
+    /** Subset of the invalidation misses whose causing invalidation hit
+     *  a word this processor never touched (per-word access masks). */
+    std::uint64_t missFalseSharing = 0;
+    /** @} */
+
+    /** @name Coherence ping-pong on this line. @{ */
+    std::uint64_t invalidations = 0;      ///< Resident copies killed.
+    std::uint64_t invalidationsFalse = 0; ///< ... on an untouched word.
+    std::uint64_t downgrades = 0;         ///< Private copies demoted.
+    std::uint64_t inflightKills = 0;      ///< In-flight fills poisoned.
+    /** @} */
+
+    /** @name Data-bus occupancy attributed to this line. @{ */
+    std::uint64_t busCycles = 0;         ///< All data-bus occupancy.
+    std::uint64_t busCyclesPrefetch = 0; ///< ... by prefetch-class ops.
+    std::uint64_t busOps = 0;            ///< Data-bus grants.
+    /** @} */
+
+    /** Per-processor prefetch outcomes (ordered: serialisation emits
+     *  the map directly). */
+    std::map<unsigned, ProfilePrefetch> prefetch;
+};
+
+/** One finished run's profile, committed to the ProfileStore. */
+struct ProfileRun
+{
+    std::string label;
+    unsigned procs = 0;
+    /** Cycle the warmup statistics reset happened (0 = none). */
+    Cycle warmupEnd = 0;
+    /** Cache-hit sweep results skip simulation; the run is recorded
+     *  with this marker instead of silently missing (check.sh /
+     *  validate_telemetry treat absence as an error). */
+    bool skipped = false;
+    /** Ordered by address: serialisation iterates directly. */
+    std::map<Addr, ProfileLine> lines;
+};
+
+/** Sums over a run's lines (recomputed at write time so the totals
+ *  block always equals the per-line rows — the Table 3 consistency
+ *  contract prefsim_report re-checks). */
+struct ProfileTotals
+{
+    std::uint64_t misses = 0;
+    std::uint64_t missInvalidation = 0;
+    std::uint64_t missFalseSharing = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t downgrades = 0;
+    std::uint64_t busCycles = 0;
+    std::uint64_t busCyclesPrefetch = 0;
+    std::uint64_t pfIssued = 0;
+    std::uint64_t pfUseful = 0;
+    std::uint64_t pfLate = 0;
+    std::uint64_t pfKilled = 0;
+    std::uint64_t pfDisplaced = 0;
+
+    static ProfileTotals of(const ProfileRun &run);
+};
+
+/**
+ * Accumulates one run's attribution. The owner (Simulator) creates it
+ * when profiling is requested, resets it at the warmup statistics
+ * boundary, and moves the finished run into the ProfileStore.
+ */
+class AttributionProfiler
+{
+  public:
+    AttributionProfiler(unsigned procs, std::string label);
+
+    /** Demand-miss classification (MemorySystem::classifyMiss). */
+    enum class MissKind
+    {
+        NonSharing,             ///< Cold/replacement, never prefetched.
+        NonSharingPrefetched,   ///< ... but a prefetched copy was lost.
+        Invalidation,           ///< Coherence miss, never prefetched.
+        InvalidationPrefetched, ///< ... and the lost copy was prefetched.
+        PrefetchInflight,       ///< Attached to an in-flight prefetch.
+    };
+
+    /** @name Main-thread hooks (non-quiet work only). @{ */
+    void miss(Addr line, MissKind kind, bool false_sharing);
+    void invalidation(Addr line, bool false_sharing);
+    void downgrade(Addr line);
+    void inflightKill(Addr line);
+    void prefetchIssued(ProcId proc, Addr line);
+    void prefetchLate(ProcId proc, Addr line);
+    void prefetchLateness(ProcId proc, Addr line, Cycle cycles);
+    void prefetchKilled(ProcId proc, Addr line);
+    void prefetchDisplaced(ProcId proc, Addr line);
+    void busGrant(Addr line, Cycle occupancy, bool demand_class);
+    /** @} */
+
+    /**
+     * First use of a prefetched line — the only hook reached from quiet
+     * hit replay, which the parallel engine runs on worker threads.
+     * Sharded per processor: workers own disjoint processors, so
+     * concurrent calls never touch the same slot.
+     */
+    void
+    prefetchUseful(ProcId proc, Addr line)
+    {
+        ++useful_[proc][line];
+    }
+
+    /** Discard everything attributed so far (warmup statistics reset;
+     *  main thread, all processors caught up). */
+    void resetForWarmup();
+
+    /** Move the finished run out (the profiler is spent afterwards). */
+    ProfileRun take(Cycle warmup_end);
+
+  private:
+    ProfileLine &line(Addr addr) { return run_.lines[addr]; }
+
+    ProfileRun run_;
+    /** Per-processor first-use tallies, merged into run_ at take(). */
+    std::vector<std::unordered_map<Addr, std::uint64_t>> useful_;
+};
+
+/**
+ * Thread-safe collection of finished profile runs, owned by the
+ * ObsContext. The JSON writer orders runs by label so output is
+ * deterministic regardless of completion order.
+ */
+class ProfileStore
+{
+  public:
+    void commit(ProfileRun run);
+
+    bool empty() const;
+    std::size_t numRuns() const;
+
+    /** Distinct attributed lines across all runs (telemetry summary). */
+    std::uint64_t totalLines() const;
+
+    /** Copy of the committed runs (tests and report tooling). */
+    std::vector<ProfileRun> snapshot() const;
+
+    /** Write the full `prefsim-profile-v1` document. */
+    void writeJson(std::ostream &os) const;
+
+    /** Emit one run as a JSON object into an open writer (shared by
+     *  writeJson and tests). */
+    static void writeRunJson(JsonWriter &j, const ProfileRun &run);
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<ProfileRun> runs_;
+};
+
+} // namespace obs
+} // namespace prefsim
+
+#endif // PREFSIM_OBS_PROFILE_ATTRIBUTION_PROFILER_HH

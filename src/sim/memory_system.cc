@@ -34,7 +34,8 @@ MemorySystem::MemorySystem(unsigned num_procs, const CacheGeometry &geom,
 }
 
 void
-MemorySystem::attachObs(ObsContext &ctx, obs::TraceBuffer *trace)
+MemorySystem::attachObs(ObsContext &ctx, obs::TraceBuffer *trace,
+                        obs::AttributionProfiler *profiler)
 {
     // Bus: queue depth seen by arriving requests, and the arbitration
     // wait of each class (paper §3.3's demand-first policy made visible).
@@ -45,6 +46,7 @@ MemorySystem::attachObs(ObsContext &ctx, obs::TraceBuffer *trace)
                                               obs::powerOfTwoBounds(14));
     bo.arbWaitPrefetch = &ctx.metrics.histogram("bus.arb_wait_prefetch",
                                                 obs::powerOfTwoBounds(14));
+    bo.profile = profiler;
     bo.trace = trace;
     bus_.setObs(bo);
 
@@ -55,9 +57,11 @@ MemorySystem::attachObs(ObsContext &ctx, obs::TraceBuffer *trace)
     co.dirtyEvictions = &ctx.metrics.counter("cache.evictions_dirty");
     co.prefetchLostEvictions =
         &ctx.metrics.counter("cache.evictions_prefetch_unused");
+    co.profile = profiler;
     for (auto &c : caches_)
         c->setObs(co);
 
+    obs_.profile = profiler;
     obs_.prefetchLateness = &ctx.metrics.histogram(
         "prefetch.lateness_cycles", obs::powerOfTwoBounds(14));
     obs_.invalidations = &ctx.metrics.counter("coherence.invalidations");
@@ -126,6 +130,8 @@ MemorySystem::downgradeOthers(ProcId requester, Addr line_base, Cycle now)
                     ++cache_version_[p];
                     if (obs_.downgrades)
                         obs_.downgrades->inc();
+                    if (obs_.profile)
+                        obs_.profile->downgrade(line_base);
                     PREFSIM_TRACE(obs_.trace,
                                   instant(p, "downgrade",
                                           obs::TraceCat::Coherence, now,
@@ -187,8 +193,14 @@ MemorySystem::invalidateOthers(ProcId requester, Addr line_base,
                 // False sharing: the invalidating write targets a word
                 // this processor never touched in the residency (§4.4).
                 f->invalFalseSharing = (f->accessMask >> word & 1u) == 0;
-                if (f->broughtByPrefetch && !f->usedSinceFill)
+                if (obs_.profile)
+                    obs_.profile->invalidation(line_base,
+                                               f->invalFalseSharing);
+                if (f->broughtByPrefetch && !f->usedSinceFill) {
                     c.markPrefetchLost(line_base);
+                    if (obs_.profile)
+                        obs_.profile->prefetchKilled(p, line_base);
+                }
                 f->state = LineState::Invalid;
             }
         }
@@ -200,6 +212,8 @@ MemorySystem::invalidateOthers(ProcId requester, Addr line_base,
             ++cache_version_[p];
             parked->state = LineState::Invalid;
             c.markPrefetchLost(line_base);
+            if (obs_.profile)
+                obs_.profile->prefetchKilled(p, line_base);
             ++stats_[p].bufferProtectionEvents;
         }
         if (m && !m->arriveInvalid) {
@@ -215,6 +229,11 @@ MemorySystem::invalidateOthers(ProcId requester, Addr line_base,
             // to demandWord.
             m->invalFalseSharing =
                 !(m->demandWaiting && m->demandWord == word);
+            if (obs_.profile) {
+                obs_.profile->inflightKill(line_base);
+                if (m->isPrefetch)
+                    obs_.profile->prefetchKilled(p, line_base);
+            }
         }
     }
 }
@@ -229,8 +248,13 @@ MemorySystem::demandAccess(ProcId proc, Addr addr, bool is_write, Cycle now)
     // The hit path, shared by genuine hits and victim-buffer swaps.
     auto complete_hit = [&](CacheFrame &f) -> AccessResult {
         f.accessMask |= 1u << word;
-        if (f.broughtByPrefetch && !f.usedSinceFill)
+        if (f.broughtByPrefetch && !f.usedSinceFill) {
             ++prefetch_first_use_[proc]; // Prefetch proved useful.
+            // The one profiler hook quiet hit replay reaches: sharded
+            // per processor, safe from the parallel engine's workers.
+            if (obs_.profile)
+                obs_.profile->prefetchUseful(proc, base);
+        }
         f.usedSinceFill = true;
         c.touch(addr);
         if (c.prefetchLostEntries())
@@ -284,6 +308,16 @@ MemorySystem::demandAccess(ProcId proc, Addr addr, bool is_write, Cycle now)
             bus_.promoteToDemand(m->busId);
             if (obs_.lateDemandAttach)
                 obs_.lateDemandAttach->inc();
+            if (obs_.profile) {
+                // A demand MSHR always carries demandWaiting from
+                // allocation, so this attach is to an in-flight
+                // *prefetch*: the late outcome, plus its own miss row.
+                obs_.profile->miss(
+                    base,
+                    obs::AttributionProfiler::MissKind::PrefetchInflight,
+                    /*false_sharing=*/false);
+                obs_.profile->prefetchLate(proc, base);
+            }
             PREFSIM_TRACE(obs_.trace,
                           instant(proc, "late_demand_attach",
                                   obs::TraceCat::Prefetch, now, base));
@@ -417,6 +451,8 @@ MemorySystem::prefetchAccess(ProcId proc, Addr addr, bool exclusive,
     m.busId = bus_.request(t, now);
     PREFSIM_VERIFY_MEM_LINE(*this, base);
     ++stats_[proc].prefetchMisses;
+    if (obs_.profile)
+        obs_.profile->prefetchIssued(proc, base);
     PREFSIM_TRACE(obs_.trace,
                   instant(proc,
                           exclusive ? "prefetch_excl_issue"
@@ -447,6 +483,19 @@ MemorySystem::classifyMiss(ProcId proc, const CacheFrame *frame,
             ++m.nonSharingPrefetched;
         else
             ++m.nonSharingNotPrefetched;
+    }
+    if (obs_.profile) {
+        using MissKind = obs::AttributionProfiler::MissKind;
+        MissKind kind;
+        if (invalidation) {
+            kind = prefetched_lost ? MissKind::InvalidationPrefetched
+                                   : MissKind::Invalidation;
+        } else {
+            kind = prefetched_lost ? MissKind::NonSharingPrefetched
+                                   : MissKind::NonSharing;
+        }
+        obs_.profile->miss(line_base, kind,
+                           invalidation && frame->invalFalseSharing);
     }
 }
 
@@ -510,8 +559,13 @@ MemorySystem::onBusComplete(const Transaction &txn, Cycle now)
         // this fill since demandAttachedAt. (Demand misses record their
         // full wait in ProcStats; this histogram isolates the residual
         // latency prefetching failed to hide.)
-        if (m.isPrefetch && m.demandWaiting && obs_.prefetchLateness)
-            obs_.prefetchLateness->record(now - m.demandAttachedAt);
+        if (m.isPrefetch && m.demandWaiting) {
+            if (obs_.prefetchLateness)
+                obs_.prefetchLateness->record(now - m.demandAttachedAt);
+            if (obs_.profile)
+                obs_.profile->prefetchLateness(txn.requester, txn.lineBase,
+                                               now - m.demandAttachedAt);
+        }
         if (m.arriveInvalid && obs_.deadFills)
             obs_.deadFills->inc();
         PREFSIM_TRACE(obs_.trace,

@@ -59,6 +59,11 @@ struct MemObs
     obs::Counter *deadFills = nullptr;
     /** Demand accesses that found their line's prefetch in flight. */
     obs::Counter *lateDemandAttach = nullptr;
+    /** Per-line attribution (SimConfig::profile). Every site below is
+     *  main-thread work except prefetch first-use, which fires inside
+     *  quiet hit replay and is sharded per processor (see
+     *  obs/profile/attribution_profiler.hh). */
+    obs::AttributionProfiler *profile = nullptr;
     /** Per-run event sink (only ever set when PREFSIM_TRACING=1). */
     obs::TraceBuffer *trace = nullptr;
 };
@@ -158,11 +163,13 @@ class MemorySystem
 
     /**
      * Register this memory system's metrics in @p ctx and wire @p trace
-     * (may be null: metrics without event tracing) through to the bus
-     * and the caches. Idempotent; not called at all in the default
+     * (may be null: metrics without event tracing) and @p profiler (may
+     * be null: no per-line attribution) through to the bus and the
+     * caches. Idempotent; not called at all in the default
      * uninstrumented configuration.
      */
-    void attachObs(ObsContext &ctx, obs::TraceBuffer *trace);
+    void attachObs(ObsContext &ctx, obs::TraceBuffer *trace,
+                   obs::AttributionProfiler *profiler = nullptr);
 
     /**
      * Observer invoked on every classified CPU miss with the line base

@@ -158,7 +158,12 @@ Simulator::Simulator(const ParallelTrace &trace, const SimConfig &config)
         trace_buf_ = config.obs->tracer.beginSession(
             static_cast<std::uint32_t>(trace.numProcs()),
             config.traceLabel.empty() ? "run" : config.traceLabel);
-        mem_->attachObs(*config.obs, trace_buf_.get());
+        if (config.profile) {
+            profiler_ = std::make_unique<obs::AttributionProfiler>(
+                static_cast<unsigned>(trace.numProcs()),
+                config.traceLabel.empty() ? "run" : config.traceLabel);
+        }
+        mem_->attachObs(*config.obs, trace_buf_.get(), profiler_.get());
         for (auto &pr : procs_)
             pr->setTrace(trace_buf_.get());
         if (config.sampleInterval > 0) {
@@ -185,6 +190,12 @@ Simulator::resetStatsForWarmup()
     // zero (prefetch first uses) are carried at their running values.
     if (sampler_)
         sampler_->rebase(captureSampleFrame(warmup_end_), warmup_end_);
+    // The profile covers the measured window only, so its totals match
+    // the post-warmup aggregates (Table 3). The reset runs with every
+    // processor caught up to the barrier release in all three engines,
+    // so the discarded warmup attribution is identical too.
+    if (profiler_)
+        profiler_->resetForWarmup();
 }
 
 obs::SampleFrame
@@ -778,8 +789,20 @@ Simulator::run()
             ps.finishedAt > warmup_end_ ? ps.finishedAt - warmup_end_ : 0;
     }
     stats.bus = mem_->bus().stats();
-    if (config_.obs && trace_buf_)
+    // Commit the profile after the drain above: the drained writebacks'
+    // grants attributed their occupancy, so the per-line bus cycles sum
+    // exactly to the final BusStats::busyCycles.
+    if (profiler_) {
+        config_.obs->profile.commit(profiler_->take(warmup_end_));
+        profiler_.reset();
+    }
+    if (config_.obs && trace_buf_) {
+        // Ring-buffer eviction is otherwise silent; the counter makes
+        // truncated traces detectable in the telemetry document.
+        config_.obs->metrics.counter("trace.dropped_events")
+            .inc(trace_buf_->dropped());
         config_.obs->tracer.commit(std::move(trace_buf_));
+    }
     return stats;
 }
 

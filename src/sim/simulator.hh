@@ -125,6 +125,16 @@ struct SimConfig
      * frames are captured at exact cycles).
      */
     Cycle sampleInterval = 0;
+    /**
+     * Per-line contention attribution (off by default; requires obs).
+     * The run attributes misses, coherence events, bus occupancy and
+     * prefetch outcomes to cache-line addresses and commits a
+     * `prefsim-profile-v1` run to obs->profile. Profiling never
+     * perturbs results: simulation statistics are byte-identical with
+     * it on or off, and the profile itself is byte-identical across
+     * all three engines (asserted by tests/test_profile.cc).
+     */
+    bool profile = false;
     /** Label of this run's trace session (sweep spec label; shown as
      *  the Chrome trace process name). */
     std::string traceLabel;
@@ -289,6 +299,12 @@ class Simulator
     ProcId ticking_ = kNoProc;
     /** This run's trace session; committed to the tracer by run(). */
     std::unique_ptr<obs::TraceBuffer> trace_buf_;
+
+    /** Per-line attribution profiler (null when profiling is off); the
+     *  finished run is committed to obs->profile by run(), after the
+     *  writeback drain so per-line bus cycles sum to the final
+     *  BusStats::busyCycles. */
+    std::unique_ptr<obs::AttributionProfiler> profiler_;
 
     /** Interval time-series sampler (null when sampling is off); the
      *  finished series is committed to obs->timeseries by run(). */

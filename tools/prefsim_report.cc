@@ -11,6 +11,17 @@
  * table flags, all three reports print. Exit 0 on success, 2 when the
  * directory yields no parseable runs.
  *
+ * Profile mode — contention attribution from a --profile-out document:
+ *
+ *   prefsim_report --profile FILE.json [--top N]
+ *
+ * Reads a prefsim-profile-v1 document and prints the top-N hot lines
+ * by attributed bus occupancy, a per-run sharing-classification table
+ * (cold/replacement vs. true- vs. false-sharing misses — the paper's
+ * Figure 3 taxonomy at address granularity), and a prefetch-waste
+ * table decomposing where issued prefetches went (useful, late,
+ * killed, displaced) — the per-line anatomy of the Figure 2 gap.
+ *
  * Compare mode — the perf-regression gate:
  *
  *   prefsim_report --compare BASELINE.json FRESH.json
@@ -25,6 +36,8 @@
  * validate_telemetry, which is what lets scripts/check.sh gate on it.
  */
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -50,6 +63,7 @@ usage()
     std::cerr
         << "usage: prefsim_report --runs DIR [--fig2] [--table2] "
            "[--table3]\n"
+           "       prefsim_report --profile FILE.json [--top N]\n"
            "       prefsim_report --compare BASELINE.json FRESH.json\n"
            "                      [--warn FRAC] [--fail FRAC] [--json]\n";
     std::exit(kExitUsage);
@@ -109,6 +123,200 @@ runReports(const std::string &dir, bool fig2, bool table2, bool table3)
         section(report::writeTable2Report);
     if (table3)
         section(report::writeTable3Report);
+    return kExitOk;
+}
+
+std::string
+hexAddr(std::uint64_t addr)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << addr;
+    return os.str();
+}
+
+int
+runProfile(const std::string &path, std::size_t top_n)
+{
+    const std::optional<std::string> text = slurp(path);
+    if (!text) {
+        std::cerr << "prefsim_report: cannot open " << path << "\n";
+        return kExitUsage;
+    }
+    const std::optional<JsonValue> doc = parseJson(*text);
+    if (!doc) {
+        std::cerr << "prefsim_report: " << path
+                  << " is not strict JSON\n";
+        return kExitUsage;
+    }
+    const JsonValue *schema = doc->find("schema");
+    if (!schema || !schema->isString() ||
+        schema->asString() != "prefsim-profile-v1") {
+        std::cerr << "prefsim_report: " << path
+                  << " is not a prefsim-profile-v1 document\n";
+        return kExitUsage;
+    }
+    const JsonValue *runs = doc->find("runs");
+    if (!runs || !runs->isArray()) {
+        std::cerr << "prefsim_report: " << path << " has no runs\n";
+        return kExitUsage;
+    }
+
+    const auto u64 = [](const JsonValue &obj, const char *key) {
+        const JsonValue *v = obj.find(key);
+        return v ? v->asU64() : std::uint64_t{0};
+    };
+
+    struct LineRow
+    {
+        std::string label;
+        std::uint64_t addr = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t invalMisses = 0;
+        std::uint64_t falseSharing = 0;
+        std::uint64_t invalidations = 0;
+        std::uint64_t busCycles = 0;
+        std::uint64_t busOps = 0;
+    };
+    struct RunRow
+    {
+        std::string label;
+        std::uint64_t misses = 0;
+        std::uint64_t invalMisses = 0;
+        std::uint64_t falseSharing = 0;
+        std::uint64_t busCycles = 0;
+        std::uint64_t busCyclesPrefetch = 0;
+        std::uint64_t pfIssued = 0;
+        std::uint64_t pfUseful = 0;
+        std::uint64_t pfLate = 0;
+        std::uint64_t pfKilled = 0;
+        std::uint64_t pfDisplaced = 0;
+    };
+
+    std::vector<LineRow> lines;
+    std::vector<RunRow> run_rows;
+    std::size_t skipped = 0;
+    for (const JsonValue &run : runs->array()) {
+        const JsonValue *label = run.find("label");
+        const std::string name =
+            label && label->isString() ? label->asString() : "?";
+        if (run.find("skipped")) {
+            ++skipped;
+            continue;
+        }
+        RunRow rr;
+        rr.label = name;
+        if (const JsonValue *totals = run.find("totals")) {
+            rr.misses = u64(*totals, "misses");
+            rr.invalMisses = u64(*totals, "miss_invalidation");
+            rr.falseSharing = u64(*totals, "miss_false_sharing");
+            rr.busCycles = u64(*totals, "bus_cycles");
+            rr.busCyclesPrefetch = u64(*totals, "bus_cycles_prefetch");
+            rr.pfIssued = u64(*totals, "pf_issued");
+            rr.pfUseful = u64(*totals, "pf_useful");
+            rr.pfLate = u64(*totals, "pf_late");
+            rr.pfKilled = u64(*totals, "pf_killed");
+            rr.pfDisplaced = u64(*totals, "pf_displaced");
+        }
+        run_rows.push_back(std::move(rr));
+        const JsonValue *run_lines = run.find("lines");
+        if (!run_lines || !run_lines->isArray())
+            continue;
+        for (const JsonValue &l : run_lines->array()) {
+            LineRow row;
+            row.label = name;
+            row.addr = u64(l, "addr");
+            row.misses = u64(l, "miss_nonsharing") +
+                         u64(l, "miss_nonsharing_prefetched") +
+                         u64(l, "miss_invalidation") +
+                         u64(l, "miss_invalidation_prefetched") +
+                         u64(l, "miss_prefetch_inflight");
+            row.invalMisses = u64(l, "miss_invalidation") +
+                              u64(l, "miss_invalidation_prefetched");
+            row.falseSharing = u64(l, "miss_false_sharing");
+            row.invalidations = u64(l, "invalidations");
+            row.busCycles = u64(l, "bus_cycles");
+            row.busOps = u64(l, "bus_ops");
+            lines.push_back(std::move(row));
+        }
+    }
+    if (run_rows.empty()) {
+        std::cerr << "prefsim_report: " << path
+                  << " holds no profiled runs ("
+                  << skipped << " cache-hit skips)\n";
+        return kExitUsage;
+    }
+
+    std::cout << "profile: " << run_rows.size() << " runs, "
+              << lines.size() << " attributed lines";
+    if (skipped)
+        std::cout << " (" << skipped << " cache-hit skips)";
+    std::cout << "\n\n";
+
+    // 1. Hot lines: the addresses that bought the most bus time.
+    std::stable_sort(lines.begin(), lines.end(),
+                     [](const LineRow &a, const LineRow &b) {
+                         if (a.busCycles != b.busCycles)
+                             return a.busCycles > b.busCycles;
+                         if (a.label != b.label)
+                             return a.label < b.label;
+                         return a.addr < b.addr;
+                     });
+    std::cout << "Top " << std::min(top_n, lines.size())
+              << " hot lines by attributed bus occupancy\n";
+    TextTable hot({"line", "run", "misses", "inval miss", "false",
+                   "invals", "bus cyc", "bus ops"});
+    for (std::size_t i = 0; i < lines.size() && i < top_n; ++i) {
+        const LineRow &r = lines[i];
+        hot.addRow({hexAddr(r.addr), r.label, std::to_string(r.misses),
+                    std::to_string(r.invalMisses),
+                    std::to_string(r.falseSharing),
+                    std::to_string(r.invalidations),
+                    std::to_string(r.busCycles),
+                    std::to_string(r.busOps)});
+    }
+    hot.print(std::cout);
+
+    // 2. Sharing classification (Figure 3 taxonomy): the invalidation
+    // component splits into true sharing (data actually communicated)
+    // and false sharing (distinct words on one line).
+    std::cout << "\nSharing classification per run\n";
+    TextTable share({"run", "misses", "cold/repl", "true shr",
+                     "false shr", "false %"});
+    for (const RunRow &r : run_rows) {
+        const std::uint64_t non = r.misses - r.invalMisses;
+        const std::uint64_t true_shr = r.invalMisses - r.falseSharing;
+        const double false_pct =
+            r.invalMisses
+                ? static_cast<double>(r.falseSharing) /
+                      static_cast<double>(r.invalMisses)
+                : 0.0;
+        share.addRow({r.label, std::to_string(r.misses),
+                      std::to_string(non), std::to_string(true_shr),
+                      std::to_string(r.falseSharing),
+                      TextTable::percent(false_pct, 1)});
+    }
+    share.print(std::cout);
+
+    // 3. Prefetch waste: where issued prefetches went. Everything that
+    // is not "useful" is bus traffic the paper's Figure 2 gap is made
+    // of.
+    std::cout << "\nPrefetch outcome decomposition per run\n";
+    TextTable waste({"run", "issued", "useful", "late", "killed",
+                     "displaced", "useful %", "pf bus cyc"});
+    for (const RunRow &r : run_rows) {
+        const double useful_pct =
+            r.pfIssued ? static_cast<double>(r.pfUseful) /
+                             static_cast<double>(r.pfIssued)
+                       : 0.0;
+        waste.addRow({r.label, std::to_string(r.pfIssued),
+                      std::to_string(r.pfUseful),
+                      std::to_string(r.pfLate),
+                      std::to_string(r.pfKilled),
+                      std::to_string(r.pfDisplaced),
+                      TextTable::percent(useful_pct, 1),
+                      std::to_string(r.busCyclesPrefetch)});
+    }
+    waste.print(std::cout);
     return kExitOk;
 }
 
@@ -181,6 +389,8 @@ int
 main(int argc, char **argv)
 {
     std::string runs_dir;
+    std::string profile_path;
+    std::size_t top_n = 10;
     std::vector<std::string> compare_paths;
     report::CompareOptions opts;
     bool fig2 = false, table2 = false, table3 = false, json = false;
@@ -197,6 +407,20 @@ main(int argc, char **argv)
         };
         if (arg == "--runs") {
             runs_dir = next();
+        } else if (arg == "--profile") {
+            profile_path = next();
+        } else if (arg == "--top") {
+            const char *text = next();
+            char *end = nullptr;
+            const unsigned long long v =
+                std::strtoull(text, &end, 10);
+            if (end == text || *end != '\0' || v == 0) {
+                std::cerr << "prefsim_report: --top expects a positive "
+                             "integer, got '"
+                          << text << "'\n";
+                return kExitUsage;
+            }
+            top_n = static_cast<std::size_t>(v);
         } else if (arg == "--compare") {
             compare_paths.push_back(next());
             compare_paths.push_back(next());
@@ -221,11 +445,15 @@ main(int argc, char **argv)
         }
     }
 
-    const bool compare = !compare_paths.empty();
-    if (compare == !runs_dir.empty()) // Exactly one mode, please.
+    const int modes = (!runs_dir.empty() ? 1 : 0) +
+                      (!compare_paths.empty() ? 1 : 0) +
+                      (!profile_path.empty() ? 1 : 0);
+    if (modes != 1) // Exactly one mode, please.
         usage();
-    if (compare)
+    if (!compare_paths.empty())
         return runCompare(compare_paths[0], compare_paths[1], opts,
                           json);
+    if (!profile_path.empty())
+        return runProfile(profile_path, top_n);
     return runReports(runs_dir, fig2, table2, table3);
 }

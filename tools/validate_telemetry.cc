@@ -16,6 +16,13 @@
  *    per run, a strictly increasing cycle column, every column the
  *    advertised sample count long, per-window widths >= 1 that sum to
  *    the covered span, and proc_columns shaped [procs][samples];
+ *  - prefsim-profile-v1 (--profile-out) must list each run's lines in
+ *    strictly ascending address order with the full per-line counter
+ *    set, and the run's totals block must equal the sum of its rows
+ *    (the Table 3 consistency contract);
+ *  - runs in either per-run document may instead carry
+ *    `"skipped": "cache-hit"` — the sweep loaded that point from the
+ *    result cache and never simulated it;
  *  - a Chrome trace-event document (--trace-out): a traceEvents array
  *    whose synchronous B/E events pair up in stack order per
  *    (pid, tid), whose async b/e events pair by (cat, id, scope), and
@@ -150,7 +157,29 @@ checkMetrics(const JsonValue &doc)
         need(*tracing, "compiled_in", "tracing");
         need(*tracing, "sessions", "tracing");
         need(*tracing, "events", "tracing");
+        // Ring-buffer truncation must be visible, not silent: a trace
+        // that dropped events advertises how many.
+        need(*tracing, "dropped_events", "tracing");
     }
+    if (const JsonValue *profile = doc.find("profile")) {
+        need(*profile, "enabled", "profile");
+        need(*profile, "runs", "profile");
+        need(*profile, "lines", "profile");
+    }
+}
+
+/** A run loaded from the sweep's result cache carries a skip marker
+ *  instead of data; accept (and report) it in both per-run schemas. */
+bool
+isSkippedRun(const JsonValue &run, const std::string &where,
+             const char *rule)
+{
+    const JsonValue *skipped = run.find("skipped");
+    if (!skipped)
+        return false;
+    if (!skipped->isString() || skipped->asString() != "cache-hit")
+        fail(rule, where + ": \"skipped\" must be \"cache-hit\"");
+    return true;
 }
 
 /** One run's column must be an array of the advertised length. */
@@ -182,6 +211,8 @@ checkTimeseries(const JsonValue &doc)
     for (const JsonValue &run : runs.array()) {
         const std::string where =
             "run \"" + need(run, "label", "run").asString() + "\"";
+        if (isSkippedRun(run, where, "telemetry.timeseries"))
+            continue;
         const std::uint64_t interval =
             need(run, "interval", where).asU64();
         if (interval < 1)
@@ -256,6 +287,97 @@ checkTimeseries(const JsonValue &doc)
         }
     }
     return {runs.array().size(), total_samples};
+}
+
+/** Returns (runs, total lines) for the ok line. */
+std::pair<std::size_t, std::uint64_t>
+checkProfile(const JsonValue &doc)
+{
+    const JsonValue &runs = need(doc, "runs", "document");
+    if (!runs.isArray())
+        fail("telemetry.profile", "runs is not an array");
+    std::uint64_t total_lines = 0;
+    for (const JsonValue &run : runs.array()) {
+        const std::string where =
+            "run \"" + need(run, "label", "run").asString() + "\"";
+        if (isSkippedRun(run, where, "telemetry.profile"))
+            continue;
+        const std::uint64_t procs = need(run, "procs", where).asU64();
+        need(run, "warmup_end", where);
+        const JsonValue &lines = need(run, "lines", where);
+        if (!lines.isArray())
+            fail("telemetry.profile", where + ": lines is not an array");
+        total_lines += lines.array().size();
+
+        // Sum the rows while walking them; the totals block below must
+        // agree exactly (Table 3 aggregates == Σ per-line attribution).
+        std::map<std::string, std::uint64_t> sum;
+        std::uint64_t prev_addr = 0;
+        bool first = true;
+        for (const JsonValue &l : lines.array()) {
+            const std::uint64_t addr = need(l, "addr", where).asU64();
+            if (!first && addr <= prev_addr)
+                fail("telemetry.profile",
+                     where + ": line addresses are not strictly "
+                             "ascending at 0x" +
+                         std::to_string(addr));
+            first = false;
+            prev_addr = addr;
+            std::uint64_t misses = 0;
+            for (const char *key :
+                 {"miss_nonsharing", "miss_nonsharing_prefetched",
+                  "miss_invalidation", "miss_invalidation_prefetched",
+                  "miss_prefetch_inflight"}) {
+                misses += need(l, key, where).asU64();
+            }
+            sum["misses"] += misses;
+            sum["miss_invalidation"] +=
+                need(l, "miss_invalidation", where).asU64() +
+                need(l, "miss_invalidation_prefetched", where).asU64();
+            sum["miss_false_sharing"] +=
+                need(l, "miss_false_sharing", where).asU64();
+            sum["invalidations"] +=
+                need(l, "invalidations", where).asU64();
+            if (need(l, "invalidations_false", where).asU64() >
+                need(l, "invalidations", where).asU64())
+                fail("telemetry.profile",
+                     where + ": invalidations_false exceeds "
+                             "invalidations");
+            sum["downgrades"] += need(l, "downgrades", where).asU64();
+            need(l, "inflight_kills", where);
+            sum["bus_cycles"] += need(l, "bus_cycles", where).asU64();
+            sum["bus_cycles_prefetch"] +=
+                need(l, "bus_cycles_prefetch", where).asU64();
+            if (need(l, "bus_ops", where).asU64() == 0 &&
+                need(l, "bus_cycles", where).asU64() != 0)
+                fail("telemetry.profile",
+                     where + ": bus cycles without bus operations");
+            const JsonValue &pf = need(l, "pf", where);
+            if (!pf.isArray())
+                fail("telemetry.profile",
+                     where + ": pf is not an array");
+            for (const JsonValue &p : pf.array()) {
+                if (need(p, "proc", where).asU64() >= procs)
+                    fail("telemetry.profile",
+                         where + ": pf proc out of range");
+                sum["pf_issued"] += need(p, "issued", where).asU64();
+                sum["pf_useful"] += need(p, "useful", where).asU64();
+                sum["pf_late"] += need(p, "late", where).asU64();
+                need(p, "lateness_cycles", where);
+                sum["pf_killed"] += need(p, "killed", where).asU64();
+                sum["pf_displaced"] +=
+                    need(p, "displaced", where).asU64();
+            }
+        }
+        const JsonValue &totals = need(run, "totals", where);
+        for (const auto &[key, value] : sum) {
+            if (need(totals, key, where + " totals").asU64() != value)
+                fail("telemetry.profile",
+                     where + ": totals \"" + key +
+                         "\" does not equal the sum of its rows");
+        }
+    }
+    return {runs.array().size(), total_lines};
 }
 
 std::size_t
@@ -369,6 +491,12 @@ main(int argc, char **argv)
                 "timeseries ok: " + std::string(path) + " (" +
                 std::to_string(runs) + " runs, " +
                 std::to_string(samples) + " samples)");
+        } else if (kind == "prefsim-profile-v1") {
+            const auto [runs, lines] = checkProfile(*doc);
+            ok_lines.push_back(
+                "profile ok: " + std::string(path) + " (" +
+                std::to_string(runs) + " runs, " +
+                std::to_string(lines) + " lines)");
         } else if (doc->find("traceEvents") != nullptr) {
             trace_events += checkTrace(*doc);
             ok_lines.push_back("trace ok: " + std::string(path) + " (" +
@@ -377,7 +505,8 @@ main(int argc, char **argv)
         } else {
             fail("telemetry.schema",
                  "unrecognised document (expected prefsim-telemetry-v1,"
-                 " prefsim-timeseries-v1 or a traceEvents document)");
+                 " prefsim-timeseries-v1, prefsim-profile-v1 or a"
+                 " traceEvents document)");
         }
     };
     for (const char *path : paths) {
