@@ -10,9 +10,13 @@
 #      interval time-series and per-line attribution-profile
 #      validation (the latter byte-compared cycle vs parallel);
 #   2. the verification layer: exhaustive protocol model checking
-#      (2- and 3-cache), seeded-mutation detection, and the trace
-#      linter over all five workload generators;
-#   3. clang-tidy over the static-analysis profile in .clang-tidy
+#      (2- and 3-cache), seeded-mutation detection, the trace linter
+#      over all five workload generators, the static analyzer
+#      (prefsim_analyze: prefetch quality + race detection) over the
+#      same generators under PREF and PWS, and the static-vs-simulated
+#      drift gate (>= 80% late recall on the fig2 PREF point);
+#   3. clang-tidy over the static-analysis profile in .clang-tidy,
+#      hard-gated on the checked-in .clang-tidy-baseline count
 #      (skipped loudly when clang-tidy is not installed);
 #   4. ThreadSanitizer for the sweep engine's worker pool and the
 #      parallel simulation core's sharded catch-up;
@@ -207,13 +211,68 @@ stage "trace lint (five generators)"
     | grep -q '"ok":true'
 echo "ok: all generators lint clean"
 
+stage "static analysis (five generators)"
+# prefsim_analyze over every generator under the baseline PREF strategy
+# and the write-shared-aware PWS. The JSON must validate as
+# prefsim-analysis-v1 and the exit code must be 0: warnings (the
+# generators' documented sharing idioms, late prefetches) are fine,
+# error-grade findings (inconsistent locking, broken barrier structure)
+# are not.
+SA_START=$(date +%s)
+for strat in PREF PWS; do
+    "$BUILD"/tools/prefsim_analyze --json --gen all --refs 5000 \
+        --strategy "$strat" > "$CACHE/analysis_$strat.json"
+    "$BUILD"/tools/validate_telemetry "$CACHE/analysis_$strat.json"
+done
+SA_ELAPSED=$(($(date +%s) - SA_START))
+if [ "$SA_ELAPSED" -gt 300 ]; then
+    echo "FAIL: static analysis took ${SA_ELAPSED}s (budget 300s)" >&2
+    exit 1
+fi
+echo "ok: all generators analyze clean (PREF + PWS) in ${SA_ELAPSED}s"
+
+stage "static-vs-simulated drift gate"
+# Cross-validate the static late prediction against one profiled
+# simulation of the paper's 16-processor fig2 PREF point: of the
+# prefetches the simulator observes to be late, the static pass must
+# have predicted at least 80% late (analysis.drift.late_recall fires
+# below the floor, which makes prefsim_analyze exit non-zero). The
+# drift table render is exercised on the same document.
+DRIFT_START=$(date +%s)
+"$BUILD"/tools/prefsim_analyze --json --gen topopt --procs 16 \
+    --refs 100000 --seed 12345 --strategy PREF --transfer 8 \
+    --validate --late-floor 0.80 > "$CACHE/analysis_drift.json"
+"$BUILD"/tools/validate_telemetry "$CACHE/analysis_drift.json"
+"$BUILD"/tools/prefsim_report --drift "$CACHE/analysis_drift.json" \
+    > /dev/null
+DRIFT_ELAPSED=$(($(date +%s) - DRIFT_START))
+if [ "$DRIFT_ELAPSED" -gt 300 ]; then
+    echo "FAIL: drift gate took ${DRIFT_ELAPSED}s (budget 300s)" >&2
+    exit 1
+fi
+echo "ok: fig2 late recall >= 80% in ${DRIFT_ELAPSED}s (budget 300s)"
+
 stage "clang-tidy"
+# Hard gate against the checked-in baseline: the diagnostic count must
+# not exceed .clang-tidy-baseline (currently 0 — the tree is clean
+# under the .clang-tidy profile). After genuinely fixing or suppressing
+# diagnostics, regenerate the baseline by writing the new count to
+# .clang-tidy-baseline and committing it alongside the change.
 if command -v clang-tidy > /dev/null 2>&1; then
     find src tools -name '*.cc' -print \
-        | xargs clang-tidy -p "$BUILD" --quiet
-    echo "ok: clang-tidy"
+        | xargs clang-tidy -p "$BUILD" --quiet \
+        > "$CACHE/tidy.out" 2> /dev/null || true
+    TIDY_COUNT=$(grep -c -E 'warning:|error:' "$CACHE/tidy.out" || true)
+    TIDY_BASE=$(cat .clang-tidy-baseline)
+    if [ "$TIDY_COUNT" -gt "$TIDY_BASE" ]; then
+        echo "FAIL: clang-tidy emitted $TIDY_COUNT diagnostics" \
+            "(baseline $TIDY_BASE)" >&2
+        grep -E 'warning:|error:' "$CACHE/tidy.out" | head -20 >&2
+        exit 1
+    fi
+    echo "ok: clang-tidy ($TIDY_COUNT diagnostics, baseline $TIDY_BASE)"
 else
-    echo "skip: clang-tidy not installed"
+    echo "skip: clang-tidy not installed (the gate runs when it is)"
 fi
 
 # --- configuration 2: ThreadSanitizer ---------------------------------

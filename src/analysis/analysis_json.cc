@@ -1,0 +1,121 @@
+#include "analysis/analysis_json.hh"
+
+#include <ostream>
+
+#include "common/json.hh"
+
+namespace prefsim
+{
+namespace analysis
+{
+
+std::vector<verify::Finding>
+collectFindings(const AnalysisRun &run)
+{
+    std::vector<verify::Finding> out;
+    const auto append = [&out, &run](
+                            const std::vector<verify::Finding> &src) {
+        for (verify::Finding f : src) {
+            f.location = f.location.empty()
+                             ? run.label
+                             : run.label + ": " + f.location;
+            out.push_back(std::move(f));
+        }
+    };
+    append(run.quality.findings);
+    append(run.race.findings);
+    if (run.validation)
+        append(run.validation->findings);
+    return out;
+}
+
+namespace
+{
+
+void
+writeValidation(JsonWriter &j, const ValidationResult &v)
+{
+    j.key("validation").beginObject();
+    j.key("profile_label").value(v.profileLabel);
+    j.key("pf_issued").value(v.pfIssued);
+    j.key("uncovered").value(v.uncovered);
+    j.key("late_recall").value(v.lateRecall);
+    j.key("late_floor").value(v.lateFloor);
+    j.key("matrix").beginArray();
+    for (PredRow r : {PredRow::Late, PredRow::Useless, PredRow::Timely,
+                      PredRow::Redundant}) {
+        j.beginObject();
+        j.key("predicted").value(predRowName(r));
+        for (ObsCol c : {ObsCol::Late, ObsCol::Useless, ObsCol::Timely,
+                         ObsCol::Other}) {
+            j.key(obsColName(c)).value(v.matrix.at(r, c));
+        }
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+}
+
+} // namespace
+
+void
+writeAnalysisJson(std::ostream &os,
+                  const std::vector<AnalysisRun> &runs,
+                  const std::vector<verify::Finding> &findings)
+{
+    JsonWriter j(os);
+    j.beginObject();
+    j.key("schema").value("prefsim-analysis-v1");
+    j.key("tool").value("prefsim_analyze");
+    j.key("runs").beginArray();
+    for (const AnalysisRun &run : runs) {
+        j.beginObject();
+        j.key("label").value(run.label);
+        j.key("procs").value(std::uint64_t{run.procs});
+        j.key("prefetches").value(run.quality.prefetches);
+        j.key("pf_timely").value(run.quality.totals.timely);
+        j.key("pf_late").value(run.quality.totals.late);
+        j.key("pf_useless").value(run.quality.totals.useless);
+        j.key("pf_redundant").value(run.quality.totals.redundant);
+        j.key("bounds").beginObject();
+        j.key("floor").value(run.quality.floorBound);
+        j.key("fill").value(run.quality.fillBound);
+        j.key("contention").value(run.quality.contentionBound);
+        j.endObject();
+        j.key("race").beginObject();
+        j.key("words_checked").value(run.race.stats.wordsChecked);
+        j.key("race_candidates").value(run.race.stats.raceCandidates);
+        j.key("lock_serialised").value(run.race.stats.lockSerialised);
+        j.key("episodes").value(run.race.stats.episodes);
+        j.endObject();
+        j.key("lines").beginArray();
+        for (const auto &[addr, procs] : run.quality.lines) {
+            j.beginObject();
+            j.key("addr").value(addr);
+            j.key("pf").beginArray();
+            for (const auto &[proc, counts] : procs) {
+                j.beginObject();
+                j.key("proc").value(std::uint64_t{proc});
+                j.key("timely").value(counts.timely);
+                j.key("late").value(counts.late);
+                j.key("useless").value(counts.useless);
+                j.key("redundant").value(counts.redundant);
+                j.endObject();
+            }
+            j.endArray();
+            j.endObject();
+        }
+        j.endArray();
+        if (run.validation)
+            writeValidation(j, *run.validation);
+        j.endObject();
+    }
+    j.endArray();
+    verify::writeFindingsJson(j, findings);
+    j.key("ok").value(!verify::anyError(findings));
+    j.endObject();
+    os << "\n";
+}
+
+} // namespace analysis
+} // namespace prefsim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * `prefsim-analysis-v1` serialisation: one JSON document per analyzer
+ * invocation, mirroring the observability schemas
+ * (`prefsim-profile-v1`, `prefsim-timeseries-v1`) so validate_telemetry
+ * and prefsim_report consume it with the same machinery.
+ *
+ * Document shape:
+ *
+ *   { "schema": "prefsim-analysis-v1", "tool": "prefsim_analyze",
+ *     "runs": [ { "label", "procs", "prefetches",
+ *                 "pf_timely" | "pf_late" | "pf_useless" | "pf_redundant",
+ *                 "bounds": { "floor", "fill", "contention" },
+ *                 "race": { "words_checked", "race_candidates",
+ *                           "lock_serialised", "episodes" },
+ *                 "lines": [ { "addr", "pf": [ { "proc", "timely",
+ *                              "late", "useless", "redundant" } ] } ],
+ *                 "validation"?: { "profile_label", "pf_issued",
+ *                                  "uncovered", "late_recall",
+ *                                  "late_floor",
+ *                                  "matrix": [ { "predicted", "late",
+ *                                     "useless", "timely", "other" } ] }
+ *               } ],
+ *     "findings": [ ... ], "ok": bool }
+ *
+ * Runs are emitted in caller order, lines ascending by address (the
+ * ledger map is ordered); repeated invocations on the same inputs are
+ * byte-identical.
+ */
+
+#ifndef PREFSIM_ANALYSIS_ANALYSIS_JSON_HH
+#define PREFSIM_ANALYSIS_ANALYSIS_JSON_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/cross_validate.hh"
+#include "analysis/prefetch_quality.hh"
+#include "analysis/race_detect.hh"
+
+namespace prefsim
+{
+namespace analysis
+{
+
+/** One analyzed trace: every pass's result under one label. */
+struct AnalysisRun
+{
+    std::string label;
+    unsigned procs = 0;
+    QualityReport quality;
+    RaceReport race;
+    std::optional<ValidationResult> validation;
+};
+
+/** Findings of one run, concatenated in pass order (quality, race,
+ *  validation) with locations prefixed by the run label. */
+std::vector<verify::Finding> collectFindings(const AnalysisRun &run);
+
+/** Write the full `prefsim-analysis-v1` document (trailing newline
+ *  included). @p findings is the cross-run aggregate. */
+void writeAnalysisJson(std::ostream &os,
+                       const std::vector<AnalysisRun> &runs,
+                       const std::vector<verify::Finding> &findings);
+
+} // namespace analysis
+} // namespace prefsim
+
+#endif // PREFSIM_ANALYSIS_ANALYSIS_JSON_HH

@@ -1,0 +1,308 @@
+#include "analysis/prefetch_quality.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+#include "prefetch/cost_model.hh"
+#include "trace/reuse_distance.hh"
+#include "trace/sharing_analysis.hh"
+
+namespace prefsim
+{
+namespace analysis
+{
+
+namespace
+{
+
+/** One remote write to a line, on the estimated global clock. */
+struct RemoteWrite
+{
+    Cycle cycle;
+    unsigned proc;
+};
+
+/**
+ * Per-line index of estimated write times across all processors. The
+ * per-processor estimated clocks are only an approximation of a
+ * global order (stall time is unknowable statically — the very gap
+ * the cost model documents), but sharing phases in these workloads
+ * are barrier-paced, so "a remote write lands inside this window" is
+ * exactly the kind of question the approximation answers well. The
+ * cross-validation harness measures how well.
+ */
+using WriteIndex = std::unordered_map<Addr, std::vector<RemoteWrite>>;
+
+WriteIndex
+buildWriteIndex(const ParallelTrace &trace, const CacheGeometry &geom,
+                const SharingAnalysis &sharing)
+{
+    WriteIndex index;
+    for (unsigned p = 0; p < trace.numProcs(); ++p) {
+        const Trace &t = trace.procs[p];
+        const std::vector<Cycle> start = estimatedStartCycles(t);
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            if (t[i].kind != RecordKind::Write)
+                continue;
+            // Only write-shared lines can make a prefetch useless;
+            // keeping the index to them bounds its size.
+            if (!sharing.isWriteShared(t[i].addr))
+                continue;
+            index[geom.lineBase(t[i].addr)].push_back({start[i], p});
+        }
+    }
+    for (auto &[line, writes] : index) {
+        (void)line;
+        std::stable_sort(writes.begin(), writes.end(),
+                         [](const RemoteWrite &a, const RemoteWrite &b) {
+                             return a.cycle < b.cycle;
+                         });
+    }
+    return index;
+}
+
+/** Any write by another processor strictly inside (from, to)? */
+bool
+remoteWriteInWindow(const WriteIndex &index, Addr line, unsigned proc,
+                    Cycle from, Cycle to)
+{
+    const auto it = index.find(line);
+    if (it == index.end())
+        return false;
+    const std::vector<RemoteWrite> &writes = it->second;
+    auto w = std::lower_bound(
+        writes.begin(), writes.end(), from,
+        [](const RemoteWrite &a, Cycle c) { return a.cycle <= c; });
+    for (; w != writes.end() && w->cycle < to; ++w) {
+        if (w->proc != proc)
+            return true;
+    }
+    return false;
+}
+
+/** First-instance-per-rule collector (trace_lint's dedup shape). */
+class Collector
+{
+  public:
+    void
+    add(const std::string &rule, const std::string &message,
+        const std::string &location)
+    {
+        Entry &e = entries_[rule];
+        if (e.count == 0) {
+            e.first.rule = rule;
+            e.first.severity = verify::Severity::Warning;
+            e.first.message = message;
+            e.first.location = location;
+            order_.push_back(rule);
+        }
+        ++e.count;
+    }
+
+    std::vector<verify::Finding>
+    take()
+    {
+        std::vector<verify::Finding> out;
+        for (const std::string &rule : order_) {
+            Entry &e = entries_[rule];
+            if (e.count > 1)
+                e.first.message += " (x" + std::to_string(e.count) +
+                                   " prefetches)";
+            out.push_back(std::move(e.first));
+        }
+        return out;
+    }
+
+  private:
+    struct Entry
+    {
+        verify::Finding first;
+        std::uint64_t count = 0;
+    };
+    std::unordered_map<std::string, Entry> entries_;
+    std::vector<std::string> order_;
+};
+
+std::string
+hexAddr(Addr addr)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << addr;
+    return os.str();
+}
+
+} // namespace
+
+const char *
+prefetchClassName(PrefetchClass c)
+{
+    switch (c) {
+      case PrefetchClass::Timely:
+        return "timely";
+      case PrefetchClass::Late:
+        return "late";
+      case PrefetchClass::Useless:
+        return "useless";
+      case PrefetchClass::Redundant:
+        return "redundant";
+    }
+    return "?";
+}
+
+std::uint64_t &
+PredictedCounts::count(PrefetchClass c)
+{
+    switch (c) {
+      case PrefetchClass::Timely:
+        return timely;
+      case PrefetchClass::Late:
+        return late;
+      case PrefetchClass::Useless:
+        return useless;
+      case PrefetchClass::Redundant:
+        return redundant;
+    }
+    prefsim_fatal("bad prefetch class");
+}
+
+std::uint64_t
+PredictedCounts::count(PrefetchClass c) const
+{
+    return const_cast<PredictedCounts *>(this)->count(c);
+}
+
+QualityReport
+analyzePrefetchQuality(const ParallelTrace &trace,
+                       const CacheGeometry &geom,
+                       const BusTiming &timing)
+{
+    QualityReport report;
+    report.floorBound = timing.requestLookahead();
+    report.fillBound = timing.totalLatency;
+    // Worst case on the contended data bus: every rival processor has
+    // one transfer granted ahead of the fill (round-robin
+    // arbitration), spread over the parallel channels.
+    const auto procs =
+        static_cast<Cycle>(trace.numProcs() ? trace.numProcs() - 1 : 0);
+    report.contentionBound =
+        timing.totalLatency +
+        procs * timing.dataTransfer / std::max(1u, timing.dataChannels);
+
+    const SharingAnalysis sharing(trace, geom.lineBytes());
+    const WriteIndex writes = buildWriteIndex(trace, geom, sharing);
+    Collector collector;
+
+    for (unsigned p = 0; p < trace.numProcs(); ++p) {
+        const Trace &t = trace.procs[p];
+        const std::vector<PrefetchSite> sites =
+            prefetchSites(t, geom.lineBytes());
+        const ReuseDistance reuse(t, geom);
+        const std::vector<Cycle> start = estimatedStartCycles(t);
+
+        // Per-line: most recent prefetch site (for the in-flight twin
+        // test) and the start cycle of the previous touch of any kind
+        // (the residency test must not trust a resident copy that a
+        // remote write killed since it was last touched).
+        std::unordered_map<Addr, const PrefetchSite *> last_prefetch;
+        std::unordered_map<Addr, Cycle> last_touch;
+        std::size_t next_site = 0;
+
+        const std::string where = "proc " + std::to_string(p);
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            const TraceRecord &r = t[i];
+            if (isDemandRef(r.kind)) {
+                last_touch[geom.lineBase(r.addr)] = start[i];
+                continue;
+            }
+            if (!isPrefetch(r.kind))
+                continue;
+            const PrefetchSite &site = sites[next_site++];
+            prefsim_assert(site.recordIdx == i,
+                           "prefetch site walk out of step");
+            const Addr line = geom.lineBase(site.addr);
+
+            PrefetchClass cls;
+            std::string detail;
+            const PrefetchSite *twin = nullptr;
+            if (const auto it = last_prefetch.find(line);
+                it != last_prefetch.end() &&
+                it->second->useIdx != kNoRecordIndex &&
+                it->second->useIdx > i) {
+                twin = it->second;
+            }
+            const auto lt = last_touch.find(line);
+            const bool touched = lt != last_touch.end();
+
+            if (site.useIdx == kNoRecordIndex) {
+                cls = PrefetchClass::Useless;
+                detail = "prefetched line is never used";
+            } else if (twin) {
+                cls = PrefetchClass::Redundant;
+                detail = "line already covered by the prefetch at "
+                         "record " +
+                         std::to_string(twin->recordIdx) +
+                         " (same covered use)";
+            } else if (sharing.isWriteShared(site.addr) &&
+                       remoteWriteInWindow(writes, line, p,
+                                           site.startCycle,
+                                           start[site.useIdx])) {
+                cls = PrefetchClass::Useless;
+                detail = "write-shared line; a remote write lands "
+                         "between prefetch and use";
+            } else if (reuse.residentAt(i) && touched &&
+                       !remoteWriteInWindow(writes, line, p,
+                                            lt->second,
+                                            site.startCycle)) {
+                cls = PrefetchClass::Redundant;
+                detail = "line predicted resident (set-local reuse "
+                         "distance " +
+                         std::to_string(reuse.distanceAt(i)) +
+                         " < " + std::to_string(geom.ways()) +
+                         " ways)";
+            } else if (site.useDistance < report.contentionBound) {
+                cls = PrefetchClass::Late;
+                const char *grade = "below the contention latency bound";
+                Cycle bound = report.contentionBound;
+                if (site.useDistance < report.floorBound) {
+                    grade = "below the request lookahead floor";
+                    bound = report.floorBound;
+                } else if (site.useDistance < report.fillBound) {
+                    grade = "below the contention-free fill latency";
+                    bound = report.fillBound;
+                }
+                detail = "estimated distance " +
+                         std::to_string(site.useDistance) +
+                         " cycles is " + grade + " (" +
+                         std::to_string(bound) + " cycles)";
+            } else {
+                cls = PrefetchClass::Timely;
+            }
+
+            ++report.prefetches;
+            ++report.lines[line][p].count(cls);
+            ++report.totals.count(cls);
+            if (cls != PrefetchClass::Timely) {
+                collector.add(
+                    std::string("prefetch.quality.") +
+                        prefetchClassName(cls),
+                    std::string(prefetchClassName(cls)) +
+                        " prefetch of line " + hexAddr(line) + ": " +
+                        detail,
+                    where + ", record " + std::to_string(i));
+            }
+
+            last_prefetch[line] = &site;
+            last_touch[line] = site.startCycle;
+        }
+    }
+
+    report.findings = collector.take();
+    return report;
+}
+
+} // namespace analysis
+} // namespace prefsim

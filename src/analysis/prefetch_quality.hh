@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Static per-prefetch quality classification (no simulation).
+ *
+ * The paper's central observation is that compiler-inserted prefetches
+ * fail for *predictable* reasons: issued too late to beat the bus
+ * latency, made useless by a remote write to a shared line, or
+ * redundant with data that is already covered. This pass derives those
+ * outcomes from the annotated trace alone, with exactly the
+ * ingredients the rest of the repo already trusts:
+ *
+ *  - prefetch-to-use distances come from the inserter's own cost model
+ *    (prefetch/cost_model.hh: prefetchSites over estimatedStartCycles),
+ *    so "distance" means what the insertion pass meant by it;
+ *  - the latency bounds come from BusTiming: requestLookahead() is the
+ *    absolute floor (no bus transaction completes faster under any
+ *    conditions), totalLatency the contention-free fill time, and the
+ *    contention bound adds the worst-case arbitration wait of one data
+ *    transfer per rival processor;
+ *  - residency comes from the set-local reuse-distance walker
+ *    (trace/reuse_distance.hh) at the configured geometry;
+ *  - write sharing and intervening remote writes come from
+ *    SharingAnalysis plus a per-line index of remote write times on
+ *    the estimated per-processor clocks.
+ *
+ * Every inserted prefetch lands in exactly one class:
+ *
+ *  - Redundant: the line is already covered — an earlier prefetch to
+ *    the same line whose covered use has not happened yet (the
+ *    simulator's duplicate-drop), or the line is predicted resident at
+ *    the prefetch point (the simulator's resident-drop);
+ *  - Useless: the prefetched line is never used, or it is write-shared
+ *    and a remote write is estimated to land between the prefetch and
+ *    its use (the fill will be invalidated before it helps);
+ *  - Late: the estimated prefetch-to-use distance is below the
+ *    contention latency bound (the fill cannot arrive before the use);
+ *  - Timely: none of the above.
+ *
+ * Classes are reported as `prefetch.quality.*` findings (deduplicated
+ * per rule and processor, trace_lint style) and as a per-(line,
+ * processor) ledger that cross_validate.hh confronts with the
+ * simulator's `prefsim-profile-v1` ground truth. The pass is pure: it
+ * never mutates the trace and never simulates.
+ */
+
+#ifndef PREFSIM_ANALYSIS_PREFETCH_QUALITY_HH
+#define PREFSIM_ANALYSIS_PREFETCH_QUALITY_HH
+
+#include <cstdint>
+#include <map>
+
+#include "common/cache_geometry.hh"
+#include "common/types.hh"
+#include "mem/split_bus.hh"
+#include "trace/trace.hh"
+#include "verify/finding.hh"
+
+namespace prefsim
+{
+namespace analysis
+{
+
+/** Static outcome class of one inserted prefetch. */
+enum class PrefetchClass : std::uint8_t
+{
+    Timely,   ///< Predicted to complete before its covered use.
+    Late,     ///< Distance below the contention latency bound.
+    Useless,  ///< Never used, or invalidated by a remote write first.
+    Redundant ///< Line already covered (in-flight twin or resident).
+};
+
+/** Display name ("timely", "late", ...). */
+const char *prefetchClassName(PrefetchClass c);
+
+/** Predicted-class counts for one (line, processor) ledger slot. */
+struct PredictedCounts
+{
+    std::uint64_t timely = 0;
+    std::uint64_t late = 0;
+    std::uint64_t useless = 0;
+    std::uint64_t redundant = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return timely + late + useless + redundant;
+    }
+
+    std::uint64_t &count(PrefetchClass c);
+    std::uint64_t count(PrefetchClass c) const;
+};
+
+/** Everything one quality pass produced. */
+struct QualityReport
+{
+    /** Per-line, per-processor predicted outcomes (both levels
+     *  ordered, so serialisation iterates directly). */
+    std::map<Addr, std::map<unsigned, PredictedCounts>> lines;
+    /** Sum over the ledger. */
+    PredictedCounts totals;
+    /** Prefetch records examined (== totals.total()). */
+    std::uint64_t prefetches = 0;
+    /** The three latency thresholds the classification used. */
+    Cycle floorBound = 0;      ///< BusTiming::requestLookahead().
+    Cycle fillBound = 0;       ///< Contention-free fill latency.
+    Cycle contentionBound = 0; ///< fill + worst-case arbitration wait.
+    /** prefetch.quality.* findings (warnings; deduplicated). */
+    std::vector<verify::Finding> findings;
+};
+
+/**
+ * Classify every prefetch record of @p trace at geometry @p geom
+ * against @p timing. Pure: @p trace is never modified.
+ */
+QualityReport analyzePrefetchQuality(const ParallelTrace &trace,
+                                     const CacheGeometry &geom,
+                                     const BusTiming &timing);
+
+} // namespace analysis
+} // namespace prefsim
+
+#endif // PREFSIM_ANALYSIS_PREFETCH_QUALITY_HH

@@ -1,0 +1,303 @@
+#include "analysis/race_detect.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/log.hh"
+#include "trace/trace.hh"
+
+namespace prefsim
+{
+namespace analysis
+{
+
+void
+VectorClock::join(const VectorClock &other)
+{
+    prefsim_assert(ticks_.size() == other.ticks_.size(),
+                   "vector clock size mismatch");
+    for (std::size_t p = 0; p < ticks_.size(); ++p)
+        ticks_[p] = std::max(ticks_[p], other.ticks_[p]);
+}
+
+bool
+VectorClock::lessEqual(const VectorClock &other) const
+{
+    prefsim_assert(ticks_.size() == other.ticks_.size(),
+                   "vector clock size mismatch");
+    for (std::size_t p = 0; p < ticks_.size(); ++p) {
+        if (ticks_[p] > other.ticks_[p])
+            return false;
+    }
+    return true;
+}
+
+namespace
+{
+
+/** Sorted-vector lockset intersection (locksets are tiny: the
+ *  generators hold at most two locks at once). */
+std::vector<SyncId>
+intersect(const std::vector<SyncId> &a, const std::vector<SyncId> &b)
+{
+    std::vector<SyncId> out;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(out));
+    return out;
+}
+
+/** Everything the detector accumulates about one word. */
+struct WordState
+{
+    /** Barrier episode the access masks belong to (lazily reset). */
+    std::uint64_t epoch = 0;
+    std::uint64_t readers = 0; ///< Procs reading in `epoch`.
+    std::uint64_t writers = 0; ///< Procs writing in `epoch`.
+    /** Concurrent conflicting accesses observed (>= 2 procs in one
+     *  episode, at least one writing). */
+    bool conflict = false;
+    bool anyWriteLocked = false;
+    bool writeLocksetInit = false;
+    bool fullLocksetInit = false;
+    /** Eraser candidate sets: locks held across all writes / all
+     *  accesses. */
+    std::vector<SyncId> writeLockset;
+    std::vector<SyncId> fullLockset;
+};
+
+std::string
+hexAddr(Addr addr)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << addr;
+    return os.str();
+}
+
+/** One proc's stream split at its Barrier records. */
+struct Segments
+{
+    /** Segment s spans records [bounds[s], bounds[s+1]); the barrier
+     *  record itself belongs to no segment. */
+    std::vector<std::size_t> bounds;
+    std::vector<SyncId> barrierIds;
+};
+
+Segments
+splitAtBarriers(const Trace &t)
+{
+    Segments s;
+    s.bounds.push_back(0);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != RecordKind::Barrier)
+            continue;
+        s.bounds.push_back(i);     // segment ends before the barrier
+        s.bounds.push_back(i + 1); // next one starts after it
+        s.barrierIds.push_back(t[i].sync);
+    }
+    s.bounds.push_back(t.size());
+    return s;
+}
+
+} // namespace
+
+RaceReport
+detectRaces(const ParallelTrace &trace)
+{
+    RaceReport report;
+    const auto P = static_cast<unsigned>(trace.numProcs());
+    if (P == 0 || P > 64) {
+        report.findings.push_back(
+            {"race.structure", verify::Severity::Error,
+             "race detection needs 1..64 processors, got " +
+                 std::to_string(P),
+             ""});
+        return report;
+    }
+
+    std::vector<Segments> segs;
+    segs.reserve(P);
+    for (const Trace &t : trace.procs)
+        segs.push_back(splitAtBarriers(t));
+
+    // Happens-before exists only through global barriers, and those
+    // are global only if every processor runs the same barrier
+    // sequence (trace_lint's barrier.order invariant). Without it the
+    // episode structure — and therefore the partial order — is
+    // undefined.
+    for (unsigned p = 1; p < P; ++p) {
+        if (segs[p].barrierIds != segs[0].barrierIds) {
+            report.findings.push_back(
+                {"race.structure", verify::Severity::Error,
+                 "processors disagree on the barrier sequence; "
+                 "happens-before is undefined",
+                 "proc " + std::to_string(p)});
+            return report;
+        }
+    }
+    const std::size_t episodes = segs[0].barrierIds.size() + 1;
+    report.stats.episodes = episodes;
+
+    // Per-processor vector clocks, segment-granular: each episode is
+    // one segment; the barrier joins every clock and ticks each. With
+    // global barriers only, two accesses are VC-concurrent exactly
+    // when they sit in the same episode — the clocks below prove that
+    // collapse holds while the per-word bookkeeping relies on it.
+    std::vector<VectorClock> clocks(P, VectorClock(P));
+    for (unsigned p = 0; p < P; ++p)
+        clocks[p].tick(p);
+
+    std::unordered_map<Addr, WordState> words;
+    std::vector<std::vector<SyncId>> held(P);
+
+    for (std::size_t e = 0; e < episodes; ++e) {
+        if (e > 0) {
+            // The barrier between episodes e-1 and e: all clocks meet.
+            VectorClock fence(P);
+            for (unsigned p = 0; p < P; ++p)
+                fence.join(clocks[p]);
+            for (unsigned p = 0; p < P; ++p) {
+                clocks[p] = fence;
+                clocks[p].tick(p);
+            }
+        }
+        for (unsigned p = 0; p < P; ++p) {
+            prefsim_assert(
+                e == 0 || clocks[p].concurrentWith(clocks[(p + 1) % P]) ||
+                    P == 1,
+                "episode clocks must be pairwise concurrent");
+            const Trace &t = trace.procs[p];
+            const std::size_t begin = segs[p].bounds[2 * e];
+            const std::size_t end = segs[p].bounds[2 * e + 1];
+            const std::uint64_t bit = std::uint64_t{1} << p;
+            for (std::size_t i = begin; i < end; ++i) {
+                const TraceRecord &r = t[i];
+                if (r.kind == RecordKind::LockAcquire) {
+                    auto &h = held[p];
+                    h.insert(std::upper_bound(h.begin(), h.end(),
+                                              r.sync),
+                             r.sync);
+                    continue;
+                }
+                if (r.kind == RecordKind::LockRelease) {
+                    auto &h = held[p];
+                    const auto it =
+                        std::find(h.begin(), h.end(), r.sync);
+                    if (it != h.end())
+                        h.erase(it);
+                    continue;
+                }
+                if (!isDemandRef(r.kind))
+                    continue;
+
+                WordState &w = words[r.addr];
+                if (w.epoch != e) {
+                    w.epoch = e;
+                    w.readers = 0;
+                    w.writers = 0;
+                }
+                const bool is_write = r.kind == RecordKind::Write;
+                if (is_write) {
+                    if ((w.readers | w.writers) & ~bit)
+                        w.conflict = true;
+                    w.writers |= bit;
+                    w.anyWriteLocked |= !held[p].empty();
+                    w.writeLockset =
+                        w.writeLocksetInit
+                            ? intersect(w.writeLockset, held[p])
+                            : held[p];
+                    w.writeLocksetInit = true;
+                } else {
+                    if (w.writers & ~bit)
+                        w.conflict = true;
+                    w.readers |= bit;
+                }
+                w.fullLockset = w.fullLocksetInit
+                                    ? intersect(w.fullLockset, held[p])
+                                    : held[p];
+                w.fullLocksetInit = true;
+            }
+        }
+    }
+
+    report.stats.wordsChecked = words.size();
+
+    // Grade the candidates. Sorted by address so repeated runs emit
+    // byte-identical findings.
+    struct Flagged
+    {
+        Addr addr;
+        const char *rule;
+        std::string message;
+        verify::Severity severity;
+    };
+    std::vector<Flagged> flagged;
+    for (const auto &[addr, w] : words) {
+        if (!w.conflict)
+            continue;
+        ++report.stats.raceCandidates;
+        if (!w.fullLockset.empty()) {
+            // Every access holds a common lock: the "concurrent" pair
+            // is serialised after all.
+            ++report.stats.lockSerialised;
+            continue;
+        }
+        if (!w.writeLockset.empty()) {
+            flagged.push_back(
+                {addr, "race.unlocked_read",
+                 "word " + hexAddr(addr) +
+                     " is read concurrently without the lock its "
+                     "writers hold (optimistic-read idiom)",
+                 verify::Severity::Warning});
+        } else if (w.anyWriteLocked) {
+            flagged.push_back(
+                {addr, "race.lockset",
+                 "word " + hexAddr(addr) +
+                     " is inconsistently locked: concurrent writes "
+                     "share no common lock, yet some write held one",
+                 verify::Severity::Error});
+        } else {
+            flagged.push_back(
+                {addr, "race.unsynchronized",
+                 "word " + hexAddr(addr) +
+                     " is write-shared with no ordering sync and no "
+                     "locks anywhere (lock-free sharing discipline)",
+                 verify::Severity::Warning});
+        }
+    }
+    std::stable_sort(flagged.begin(), flagged.end(),
+                     [](const Flagged &a, const Flagged &b) {
+                         return a.addr < b.addr;
+                     });
+
+    // One finding per rule: the lowest-address instance plus an
+    // occurrence count (trace_lint's dedup shape).
+    std::map<std::string, std::pair<verify::Finding, std::uint64_t>>
+        by_rule;
+    std::vector<std::string> order;
+    for (Flagged &f : flagged) {
+        auto &slot = by_rule[f.rule];
+        if (slot.second == 0) {
+            slot.first = {f.rule, f.severity, std::move(f.message),
+                          "word " + hexAddr(f.addr)};
+            order.push_back(f.rule);
+        }
+        ++slot.second;
+    }
+    // Rules ordered by first (lowest-address) occurrence.
+    for (const std::string &rule : order) {
+        auto &slot = by_rule[rule];
+        if (slot.second > 1)
+            slot.first.message +=
+                " (x" + std::to_string(slot.second) + " words)";
+        report.findings.push_back(std::move(slot.first));
+    }
+    return report;
+}
+
+} // namespace analysis
+} // namespace prefsim

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Static data-race detection over a ParallelTrace's lock/barrier/
+ * reference stream: vector-clock happens-before plus Eraser-style
+ * locksets.
+ *
+ * The generators encode each program's intended synchronisation
+ * idiom — mp3d deliberately updates shared space cells with no locks
+ * at all (as the original did), topopt reads cells optimistically
+ * outside its fine-grain cell locks, water funnels every force update
+ * through a per-molecule lock. The detector's job is to tell those
+ * *intentional* sharing disciplines apart from generator bugs
+ * (a write that should have been inside a critical section and is
+ * not), without running the simulator.
+ *
+ * Happens-before: per-processor vector clocks, joined and advanced at
+ * every global barrier. Barriers are the only statically ordered
+ * synchronisation in a trace — lock *acquisition order* between
+ * processors is decided at runtime by the bus, so propagating clocks
+ * through locks would fabricate orderings the machine never promises.
+ * With global barriers only, the vector-clock partial order collapses
+ * exactly to "same barrier episode = concurrent, different episodes =
+ * ordered" (every clock component passes through the join), which is
+ * what the per-word bookkeeping exploits; the VectorClock type keeps
+ * the general machinery honest and testable.
+ *
+ * Locksets: per word (races are word-level facts — distinct words on
+ * one line are false sharing, not a race), the intersection of locks
+ * held across all writes and across all accesses, Eraser-style.
+ *
+ * A word is a race candidate when two processors access it in the
+ * same barrier episode and at least one access is a write. Candidates
+ * are then graded by lock discipline:
+ *
+ *  - every access holds a common lock: no report (the lock serialises
+ *    the "concurrent" pair — vector clocks cannot see that, locksets
+ *    can);
+ *  - all *writes* hold a common lock but some racing read does not:
+ *    `race.unlocked_read` (warning) — the optimistic-read idiom;
+ *  - writes have no common lock but some write held a lock:
+ *    `race.lockset` (error) — inconsistent locking, the classic
+ *    Eraser bug signature;
+ *  - no write ever held any lock: `race.unsynchronized` (warning) —
+ *    deliberate lock-free sharing, mp3d's discipline.
+ *
+ * Findings use the shared verify::Finding vocabulary, deduplicated
+ * per rule with an occurrence count (trace_lint style). The pass is
+ * pure: it never mutates the trace.
+ */
+
+#ifndef PREFSIM_ANALYSIS_RACE_DETECT_HH
+#define PREFSIM_ANALYSIS_RACE_DETECT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "verify/finding.hh"
+
+namespace prefsim
+{
+
+struct ParallelTrace;
+
+namespace analysis
+{
+
+/**
+ * A vector clock over a fixed processor set. Component p counts the
+ * synchronisation segments processor p has completed.
+ */
+class VectorClock
+{
+  public:
+    explicit VectorClock(unsigned procs) : ticks_(procs, 0) {}
+
+    /** Advance own component (a new segment begins). */
+    void
+    tick(unsigned proc)
+    {
+        ++ticks_[proc];
+    }
+
+    /** Component-wise maximum (synchronisation edge received). */
+    void join(const VectorClock &other);
+
+    /** Happens-before: every component <= the other's. */
+    bool lessEqual(const VectorClock &other) const;
+
+    /** Neither clock happens-before the other. */
+    bool
+    concurrentWith(const VectorClock &other) const
+    {
+        return !lessEqual(other) && !other.lessEqual(*this);
+    }
+
+    std::uint64_t
+    component(unsigned proc) const
+    {
+        return ticks_[proc];
+    }
+
+  private:
+    std::vector<std::uint64_t> ticks_;
+};
+
+/** Aggregate accounting of one race-detection pass. */
+struct RaceStats
+{
+    /** Distinct words accessed by any processor. */
+    std::uint64_t wordsChecked = 0;
+    /** Words with concurrent conflicting accesses (pre-lockset). */
+    std::uint64_t raceCandidates = 0;
+    /** Candidates fully serialised by a common lock (not reported). */
+    std::uint64_t lockSerialised = 0;
+    /** Barrier episodes processed (trailing segment included). */
+    std::uint64_t episodes = 0;
+};
+
+/** Everything one race-detection pass produced. */
+struct RaceReport
+{
+    std::vector<verify::Finding> findings;
+    RaceStats stats;
+
+    /** True when no *error* findings exist (warnings allowed). */
+    bool
+    ok() const
+    {
+        return !verify::anyError(findings);
+    }
+};
+
+/** Detect races in @p trace. Pure; never modifies or simulates it. */
+RaceReport detectRaces(const ParallelTrace &trace);
+
+} // namespace analysis
+} // namespace prefsim
+
+#endif // PREFSIM_ANALYSIS_RACE_DETECT_HH

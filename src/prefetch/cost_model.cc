@@ -1,5 +1,7 @@
 #include "prefetch/cost_model.hh"
 
+#include <unordered_map>
+
 namespace prefsim
 {
 
@@ -14,6 +16,40 @@ estimatedStartCycles(const Trace &trace)
     }
     start[trace.size()] = c;
     return start;
+}
+
+std::vector<PrefetchSite>
+prefetchSites(const Trace &trace, unsigned line_bytes)
+{
+    const std::vector<Cycle> start = estimatedStartCycles(trace);
+    const Addr line_mask = ~Addr{line_bytes - 1};
+
+    // Walk backwards so each record sees the *next* same-line demand
+    // reference in one pass.
+    std::unordered_map<Addr, std::size_t> next_use;
+    std::vector<PrefetchSite> sites;
+    sites.resize(trace.prefetches());
+    std::size_t slot = sites.size();
+    for (std::size_t i = trace.size(); i-- > 0;) {
+        const TraceRecord &r = trace[i];
+        if (isDemandRef(r.kind)) {
+            next_use[r.addr & line_mask] = i;
+            continue;
+        }
+        if (!isPrefetch(r.kind))
+            continue;
+        PrefetchSite &site = sites[--slot];
+        site.recordIdx = i;
+        site.addr = r.addr;
+        site.startCycle = start[i];
+        site.exclusive = r.kind == RecordKind::PrefetchExcl;
+        const auto it = next_use.find(r.addr & line_mask);
+        if (it != next_use.end()) {
+            site.useIdx = it->second;
+            site.useDistance = start[it->second] - start[i];
+        }
+    }
+    return sites;
 }
 
 } // namespace prefsim

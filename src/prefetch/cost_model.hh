@@ -50,6 +50,45 @@ recordCost(const TraceRecord &rec)
  */
 std::vector<Cycle> estimatedStartCycles(const Trace &trace);
 
+/** Index marker for "no such record" in a PrefetchSite. */
+inline constexpr std::size_t kNoRecordIndex = ~std::size_t{0};
+
+/**
+ * One prefetch record of an annotated trace, located against the
+ * demand access it covers under the same cost model the insertion
+ * pass scheduled it with. The static quality analysis (src/analysis)
+ * classifies prefetches from exactly these estimates, so its notion
+ * of "distance" is the inserter's, not a reinvented one.
+ */
+struct PrefetchSite
+{
+    /** Record index of the prefetch itself. */
+    std::size_t recordIdx = 0;
+    /** Index of the next demand reference to the same line
+     *  (kNoRecordIndex when the prefetched line is never used). */
+    std::size_t useIdx = kNoRecordIndex;
+    /** Word address carried by the prefetch record. */
+    Addr addr = kNoAddr;
+    /** Estimated start cycle of the prefetch. */
+    Cycle startCycle = 0;
+    /** Estimated prefetch-to-use distance in cycles (kNoCycle when
+     *  the line is never used). */
+    Cycle useDistance = kNoCycle;
+    /** Exclusive (read-for-ownership) prefetch. */
+    bool exclusive = false;
+};
+
+/**
+ * Locate every prefetch record of @p trace against its covered use at
+ * line granularity @p line_bytes: the covered use is the next demand
+ * reference to the prefetched line, and the distance is measured on
+ * estimatedStartCycles() of the *annotated* trace (the inserted
+ * prefetch records' own cost included, exactly as the machine would
+ * execute them). Sites are returned in record order.
+ */
+std::vector<PrefetchSite> prefetchSites(const Trace &trace,
+                                        unsigned line_bytes);
+
 } // namespace prefsim
 
 #endif // PREFSIM_PREFETCH_COST_MODEL_HH

@@ -1,0 +1,43 @@
+#include "trace/reuse_distance.hh"
+
+#include <algorithm>
+
+namespace prefsim
+{
+
+ReuseDistance::ReuseDistance(const Trace &trace,
+                             const CacheGeometry &geom)
+    : ways_(geom.ways()), distance_(trace.size(), kColdDistance)
+{
+    // Per-set recency stacks: most recent line first. The scan to find
+    // a line's stack position is O(distance); the sets of a 32 KB
+    // cache over these traces stay shallow, and the position *is* the
+    // distance, so nothing faster would change the complexity of the
+    // answers we need.
+    std::vector<std::vector<Addr>> stacks(geom.numSets());
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const TraceRecord &r = trace[i];
+        if (!isDemandRef(r.kind) && !isPrefetch(r.kind))
+            continue;
+        const Addr line = geom.lineBase(r.addr);
+        std::vector<Addr> &stack = stacks[geom.setIndex(r.addr)];
+
+        const auto it = std::find(stack.begin(), stack.end(), line);
+        LineReuseStats &stats = line_stats_[line];
+        ++stats.touches;
+        if (it != stack.end()) {
+            const auto depth =
+                static_cast<std::uint64_t>(it - stack.begin());
+            distance_[i] = depth;
+            stats.distanceSum += depth;
+            stats.distanceMax = std::max(stats.distanceMax, depth);
+            if (depth < ways_)
+                ++stats.residentTouches;
+            stack.erase(it);
+        }
+        stack.insert(stack.begin(), line);
+    }
+}
+
+} // namespace prefsim

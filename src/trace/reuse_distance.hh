@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Per-processor line reuse-distance analysis at a cache geometry.
+ *
+ * The static analysis layer (src/analysis) needs two things the
+ * simulator otherwise discovers by running: whether a line is
+ * *predicted resident* at a given point of a processor's stream (the
+ * set-local LRU stack distance since the line's previous touch is
+ * below the associativity), and the per-line reuse-distance profile
+ * that the reuse-distance surrogate models in PAPERS.md (PPT-Multicore
+ * arXiv:2104.05102; shared-cache reuse distance arXiv:1907.12666)
+ * consume. Both walk one processor's record stream once, at the
+ * configured CacheGeometry, on top of the same line map
+ * SharingAnalysis classifies.
+ *
+ * Distances are *set-local*: the number of distinct other lines
+ * mapping to the same cache set that were touched since this line's
+ * previous touch. Under LRU that is exactly the eviction criterion —
+ * a line is still resident iff its set-local distance is below the
+ * number of ways — and for the paper's direct-mapped cache it reduces
+ * to "was the set touched by another line at all".
+ */
+
+#ifndef PREFSIM_TRACE_REUSE_DISTANCE_HH
+#define PREFSIM_TRACE_REUSE_DISTANCE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/cache_geometry.hh"
+#include "common/types.hh"
+#include "trace/trace.hh"
+
+namespace prefsim
+{
+
+/** Distance marker for a line's first touch (cold reference). */
+inline constexpr std::uint64_t kColdDistance = ~std::uint64_t{0};
+
+/** Aggregate reuse behaviour of one line within one processor. */
+struct LineReuseStats
+{
+    /** Touches of the line (demand refs and prefetch records). */
+    std::uint64_t touches = 0;
+    /** Touches whose set-local distance was below the associativity
+     *  (the line would still have been resident under LRU). */
+    std::uint64_t residentTouches = 0;
+    /** Sum of finite set-local distances (cold touches excluded). */
+    std::uint64_t distanceSum = 0;
+    /** Largest finite set-local distance observed. */
+    std::uint64_t distanceMax = 0;
+};
+
+/**
+ * One pass over a single processor's trace: per-record set-local
+ * reuse distances plus the per-line aggregate profile.
+ */
+class ReuseDistance
+{
+  public:
+    /**
+     * Walk @p trace at geometry @p geom. Demand references and
+     * prefetch records both touch the recency stack (a prefetch models
+     * a fill); sync and instruction records are transparent.
+     */
+    ReuseDistance(const Trace &trace, const CacheGeometry &geom);
+
+    /**
+     * Set-local distance of record @p i's line at the moment the
+     * record executes: distinct other same-set lines touched since
+     * this line's previous touch, kColdDistance on first touch, and
+     * kColdDistance for records without an address.
+     */
+    std::uint64_t distanceAt(std::size_t i) const
+    {
+        return distance_[i];
+    }
+
+    /** True when record @p i's line was predicted resident (its
+     *  set-local distance is finite and below the associativity). */
+    bool residentAt(std::size_t i) const
+    {
+        return distance_[i] != kColdDistance && distance_[i] < ways_;
+    }
+
+    /** Per-line aggregate profile, ordered by line base address. */
+    const std::map<Addr, LineReuseStats> &lineStats() const
+    {
+        return line_stats_;
+    }
+
+  private:
+    unsigned ways_;
+    std::vector<std::uint64_t> distance_;
+    std::map<Addr, LineReuseStats> line_stats_;
+};
+
+} // namespace prefsim
+
+#endif // PREFSIM_TRACE_REUSE_DISTANCE_HH

@@ -1,0 +1,51 @@
+#include "trace/trace_input.hh"
+
+#include <exception>
+#include <fstream>
+
+#include "trace/trace_io_binary.hh"
+
+namespace prefsim
+{
+
+std::vector<TraceInput>
+resolveTraceInputs(const std::string &gen,
+                   const std::vector<std::string> &files,
+                   const WorkloadParams &params, std::string &error)
+{
+    std::vector<TraceInput> inputs;
+    error.clear();
+
+    if (!gen.empty()) {
+        std::vector<WorkloadKind> kinds;
+        if (gen == "all")
+            kinds = allWorkloads();
+        else
+            kinds.push_back(workloadFromName(gen)); // fatal()s on junk.
+        inputs.reserve(kinds.size());
+        for (WorkloadKind kind : kinds) {
+            inputs.push_back({"gen:" + workloadName(kind),
+                              generateWorkload(kind, params)});
+        }
+        return inputs;
+    }
+
+    for (const std::string &path : files) {
+        // Probe openability first: the reader fatal()s on a missing
+        // file, but an unreadable path is a usage error (exit 2), not
+        // a finding.
+        if (!std::ifstream(path)) {
+            error = "cannot open " + path;
+            return {};
+        }
+        try {
+            inputs.push_back({path, readTraceAutoFile(path)});
+        } catch (const std::exception &e) {
+            error = "cannot read " + path + ": " + e.what();
+            return {};
+        }
+    }
+    return inputs;
+}
+
+} // namespace prefsim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared trace-input resolution for the command-line tools.
+ *
+ * prefsim_lint and prefsim_analyze accept the same two input forms:
+ * trace files from disk (text v1 or binary v2, sniffed by
+ * readTraceAutoFile) or workloads generated in-process with
+ * `--gen all|NAME`. This helper owns that resolution so both tools
+ * agree on naming ("gen:topopt" vs the file path), on the
+ * fatal-vs-usage error split, and on the generated-workload
+ * parameter plumbing.
+ */
+
+#ifndef PREFSIM_TRACE_TRACE_INPUT_HH
+#define PREFSIM_TRACE_TRACE_INPUT_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "trace/workload.hh"
+
+namespace prefsim
+{
+
+/** One resolved trace with its provenance name. */
+struct TraceInput
+{
+    /** "gen:topopt" for generated workloads, the path for files. */
+    std::string name;
+    ParallelTrace trace;
+};
+
+/**
+ * Resolve tool inputs to traces.
+ *
+ * Exactly one of @p gen (a workload name or "all") and @p files must
+ * be non-empty; the caller enforces that in its usage check.
+ * Generated workloads use @p params. Unknown workload names fatal()
+ * (matching workloadFromName); unreadable or malformed files set
+ * @p error and return an empty vector — a usage/IO problem (exit 2),
+ * not a finding.
+ */
+std::vector<TraceInput>
+resolveTraceInputs(const std::string &gen,
+                   const std::vector<std::string> &files,
+                   const WorkloadParams &params, std::string &error);
+
+} // namespace prefsim
+
+#endif // PREFSIM_TRACE_TRACE_INPUT_HH

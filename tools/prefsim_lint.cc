@@ -17,14 +17,13 @@
  */
 
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/json.hh"
 #include "trace/trace.hh"
-#include "trace/trace_io_binary.hh"
+#include "trace/trace_input.hh"
 #include "trace/workload.hh"
 #include "verify/trace_lint.hh"
 
@@ -101,38 +100,21 @@ main(int argc, char **argv)
     if (gen.empty() == files.empty())
         usage("lint either files or generated workloads (--gen)");
 
-    std::vector<Target> targets;
-    if (!gen.empty()) {
-        std::vector<WorkloadKind> kinds;
-        if (gen == "all")
-            kinds = allWorkloads();
-        else
-            kinds.push_back(workloadFromName(gen)); // fatal()s on junk.
-        for (WorkloadKind kind : kinds) {
-            const ParallelTrace trace = generateWorkload(kind, params);
-            targets.push_back(
-                {"gen:" + workloadName(kind), lintTrace(trace)});
-        }
-    } else {
-        for (const std::string &path : files) {
-            // Probe openability here: the reader fatal()s on a missing
-            // file, but an unreadable path is a usage error (exit 2),
-            // not a lint violation.
-            if (!std::ifstream(path)) {
-                std::cerr << "prefsim_lint: cannot open " << path << "\n";
-                return kExitUsage;
-            }
-            ParallelTrace trace;
-            try {
-                trace = readTraceAutoFile(path);
-            } catch (const std::exception &e) {
-                std::cerr << "prefsim_lint: cannot read " << path << ": "
-                          << e.what() << "\n";
-                return kExitUsage;
-            }
-            targets.push_back({path, lintTrace(trace)});
-        }
+    // Shared input resolution (trace/trace_input.hh): files — text v1
+    // or binary v2, sniffed — or in-process generators, same as
+    // prefsim_analyze. Unreadable input is a usage error (exit 2), not
+    // a lint violation.
+    std::string input_error;
+    const std::vector<TraceInput> inputs =
+        resolveTraceInputs(gen, files, params, input_error);
+    if (!input_error.empty()) {
+        std::cerr << "prefsim_lint: " << input_error << "\n";
+        return kExitUsage;
     }
+
+    std::vector<Target> targets;
+    for (const TraceInput &input : inputs)
+        targets.push_back({input.name, lintTrace(input.trace)});
 
     // Aggregate: one findings list, locations prefixed by target.
     std::vector<Finding> all;

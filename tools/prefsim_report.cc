@@ -22,6 +22,16 @@
  * table decomposing where issued prefetches went (useful, late,
  * killed, displaced) — the per-line anatomy of the Figure 2 gap.
  *
+ * Drift mode — static-prediction vs simulated-outcome tables:
+ *
+ *   prefsim_report --drift ANALYSIS.json
+ *
+ * Reads a prefsim-analysis-v1 document (prefsim_analyze --json) and
+ * prints the per-run predicted prefetch-class summary plus, for runs
+ * carrying a --validate block, the predicted-vs-observed confusion
+ * matrix and the late-recall headline. Exit mirrors the document's
+ * findings.
+ *
  * Compare mode — the perf-regression gate:
  *
  *   prefsim_report --compare BASELINE.json FRESH.json
@@ -64,6 +74,7 @@ usage()
         << "usage: prefsim_report --runs DIR [--fig2] [--table2] "
            "[--table3]\n"
            "       prefsim_report --profile FILE.json [--top N]\n"
+           "       prefsim_report --drift ANALYSIS.json\n"
            "       prefsim_report --compare BASELINE.json FRESH.json\n"
            "                      [--warn FRAC] [--fail FRAC] [--json]\n";
     std::exit(kExitUsage);
@@ -321,6 +332,122 @@ runProfile(const std::string &path, std::size_t top_n)
 }
 
 int
+runDrift(const std::string &path)
+{
+    const std::optional<std::string> text = slurp(path);
+    if (!text) {
+        std::cerr << "prefsim_report: cannot open " << path << "\n";
+        return kExitUsage;
+    }
+    const std::optional<JsonValue> doc = parseJson(*text);
+    if (!doc) {
+        std::cerr << "prefsim_report: " << path
+                  << " is not strict JSON\n";
+        return kExitUsage;
+    }
+    const JsonValue *schema = doc->find("schema");
+    if (!schema || !schema->isString() ||
+        schema->asString() != "prefsim-analysis-v1") {
+        std::cerr << "prefsim_report: " << path
+                  << " is not a prefsim-analysis-v1 document\n";
+        return kExitUsage;
+    }
+    const JsonValue *runs = doc->find("runs");
+    if (!runs || !runs->isArray() || runs->array().empty()) {
+        std::cerr << "prefsim_report: " << path << " has no runs\n";
+        return kExitUsage;
+    }
+
+    const auto u64 = [](const JsonValue &obj, const char *key) {
+        const JsonValue *v = obj.find(key);
+        return v ? v->asU64() : std::uint64_t{0};
+    };
+
+    // 1. Static prediction summary, every analyzed run.
+    std::cout << "Static prefetch-quality prediction per run\n";
+    TextTable pred({"run", "prefetches", "timely", "late", "useless",
+                    "redundant"});
+    for (const JsonValue &run : runs->array()) {
+        const JsonValue *label = run.find("label");
+        pred.addRow({label && label->isString() ? label->asString()
+                                                : "?",
+                     std::to_string(u64(run, "prefetches")),
+                     std::to_string(u64(run, "pf_timely")),
+                     std::to_string(u64(run, "pf_late")),
+                     std::to_string(u64(run, "pf_useless")),
+                     std::to_string(u64(run, "pf_redundant"))});
+    }
+    pred.print(std::cout);
+
+    // 2. Prediction-vs-profile drift, runs that carried a validation
+    // block (prefsim_analyze --validate).
+    bool validated = false;
+    for (const JsonValue &run : runs->array()) {
+        const JsonValue *v = run.find("validation");
+        if (!v)
+            continue;
+        validated = true;
+        const JsonValue *label = run.find("label");
+        std::cout << "\nDrift vs profile, run "
+                  << (label && label->isString() ? label->asString()
+                                                 : "?")
+                  << ": " << u64(*v, "pf_issued")
+                  << " issued prefetches, late recall ";
+        const JsonValue *recall = v->find("late_recall");
+        std::cout << TextTable::percent(
+                         recall ? recall->asDouble() : 0.0, 1)
+                  << " (floor ";
+        const JsonValue *floor = v->find("late_floor");
+        std::cout << TextTable::percent(
+                         floor ? floor->asDouble() : 0.0, 0)
+                  << "), " << u64(*v, "uncovered") << " uncovered\n";
+        const JsonValue *matrix = v->find("matrix");
+        if (!matrix || !matrix->isArray())
+            continue;
+        TextTable cm({"predicted \\ observed", "late", "useless",
+                      "timely", "other"});
+        for (const JsonValue &row : matrix->array()) {
+            const JsonValue *name = row.find("predicted");
+            cm.addRow({name && name->isString() ? name->asString()
+                                                : "?",
+                       std::to_string(u64(row, "late")),
+                       std::to_string(u64(row, "useless")),
+                       std::to_string(u64(row, "timely")),
+                       std::to_string(u64(row, "other"))});
+        }
+        cm.print(std::cout);
+    }
+    if (!validated)
+        std::cout << "\n(no validation blocks — run prefsim_analyze "
+                     "--validate for drift tables)\n";
+
+    // Findings travel with the document; surface them here too.
+    if (const JsonValue *findings = doc->find("findings")) {
+        std::vector<Finding> parsed;
+        for (const JsonValue &f : findings->array()) {
+            Finding out;
+            if (const JsonValue *rule = f.find("rule"))
+                out.rule = rule->asString();
+            if (const JsonValue *sev = f.find("severity"))
+                out.severity = sev->asString() == "error"
+                                   ? Severity::Error
+                                   : Severity::Warning;
+            if (const JsonValue *msg = f.find("message"))
+                out.message = msg->asString();
+            if (const JsonValue *loc = f.find("location"))
+                out.location = loc->asString();
+            parsed.push_back(std::move(out));
+        }
+        if (!parsed.empty()) {
+            std::cout << "\n";
+            writeFindingsText(std::cout, parsed);
+        }
+        return findingsExitCode(parsed);
+    }
+    return kExitOk;
+}
+
+int
 runCompare(const std::string &baseline_path,
            const std::string &fresh_path,
            const report::CompareOptions &opts, bool json)
@@ -390,6 +517,7 @@ main(int argc, char **argv)
 {
     std::string runs_dir;
     std::string profile_path;
+    std::string drift_path;
     std::size_t top_n = 10;
     std::vector<std::string> compare_paths;
     report::CompareOptions opts;
@@ -409,6 +537,8 @@ main(int argc, char **argv)
             runs_dir = next();
         } else if (arg == "--profile") {
             profile_path = next();
+        } else if (arg == "--drift") {
+            drift_path = next();
         } else if (arg == "--top") {
             const char *text = next();
             char *end = nullptr;
@@ -447,7 +577,8 @@ main(int argc, char **argv)
 
     const int modes = (!runs_dir.empty() ? 1 : 0) +
                       (!compare_paths.empty() ? 1 : 0) +
-                      (!profile_path.empty() ? 1 : 0);
+                      (!profile_path.empty() ? 1 : 0) +
+                      (!drift_path.empty() ? 1 : 0);
     if (modes != 1) // Exactly one mode, please.
         usage();
     if (!compare_paths.empty())
@@ -455,5 +586,7 @@ main(int argc, char **argv)
                           json);
     if (!profile_path.empty())
         return runProfile(profile_path, top_n);
+    if (!drift_path.empty())
+        return runDrift(drift_path);
     return runReports(runs_dir, fig2, table2, table3);
 }

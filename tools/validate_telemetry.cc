@@ -20,6 +20,12 @@
  *    strictly ascending address order with the full per-line counter
  *    set, and the run's totals block must equal the sum of its rows
  *    (the Table 3 consistency contract);
+ *  - prefsim-analysis-v1 (prefsim_analyze --json) must sum its
+ *    per-class prefetch counts back to the run total, list ledger
+ *    lines in strictly ascending address order, carry well-formed
+ *    dotted rule ids on every finding, and — when a validation block
+ *    is present — have confusion-matrix cells that sum exactly to the
+ *    profiled issued-prefetch count;
  *  - runs in either per-run document may instead carry
  *    `"skipped": "cache-hit"` — the sweep loaded that point from the
  *    result cache and never simulated it;
@@ -380,6 +386,157 @@ checkProfile(const JsonValue &doc)
     return {runs.array().size(), total_lines};
 }
 
+/** Dotted lowercase rule id: "race.lockset", "prefetch.quality.late". */
+bool
+isRuleId(const std::string &rule)
+{
+    if (rule.empty() || rule.front() == '.' || rule.back() == '.')
+        return false;
+    bool dotted = false;
+    for (std::size_t i = 0; i < rule.size(); ++i) {
+        const char c = rule[i];
+        if (c == '.') {
+            if (rule[i - 1] == '.')
+                return false;
+            dotted = true;
+        } else if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                     c == '_')) {
+            return false;
+        }
+    }
+    return dotted;
+}
+
+/** Returns (runs, total prefetches) for the ok line. */
+std::pair<std::size_t, std::uint64_t>
+checkAnalysis(const JsonValue &doc)
+{
+    const JsonValue &runs = need(doc, "runs", "document");
+    if (!runs.isArray())
+        fail("telemetry.analysis", "runs is not an array");
+    std::uint64_t total_prefetches = 0;
+    for (const JsonValue &run : runs.array()) {
+        const std::string where =
+            "run \"" + need(run, "label", "run").asString() + "\"";
+        const std::uint64_t procs = need(run, "procs", where).asU64();
+        const std::uint64_t prefetches =
+            need(run, "prefetches", where).asU64();
+        total_prefetches += prefetches;
+        std::uint64_t class_total = 0;
+        for (const char *key :
+             {"pf_timely", "pf_late", "pf_useless", "pf_redundant"}) {
+            class_total += need(run, key, where).asU64();
+        }
+        if (class_total != prefetches)
+            fail("telemetry.analysis",
+                 where + ": class totals do not sum to prefetches");
+
+        const JsonValue &bounds = need(run, "bounds", where);
+        if (need(bounds, "floor", where).asU64() >
+                need(bounds, "fill", where).asU64() ||
+            need(bounds, "fill", where).asU64() >
+                need(bounds, "contention", where).asU64())
+            fail("telemetry.analysis",
+                 where + ": latency bounds are not monotone "
+                         "(floor<=fill<=contention)");
+        const JsonValue &race = need(run, "race", where);
+        if (need(race, "lock_serialised", where).asU64() >
+            need(race, "race_candidates", where).asU64())
+            fail("telemetry.analysis",
+                 where + ": lock_serialised exceeds race_candidates");
+        if (need(race, "race_candidates", where).asU64() >
+            need(race, "words_checked", where).asU64())
+            fail("telemetry.analysis",
+                 where + ": race_candidates exceeds words_checked");
+
+        // The per-line ledger must be ascending and sum back to the
+        // run's class totals (same contract as the profile schema).
+        const JsonValue &lines = need(run, "lines", where);
+        if (!lines.isArray())
+            fail("telemetry.analysis", where + ": lines is not an array");
+        std::map<std::string, std::uint64_t> sum;
+        std::uint64_t prev_addr = 0;
+        bool first = true;
+        for (const JsonValue &l : lines.array()) {
+            const std::uint64_t addr = need(l, "addr", where).asU64();
+            if (!first && addr <= prev_addr)
+                fail("telemetry.analysis",
+                     where + ": line addresses are not strictly "
+                             "ascending at 0x" +
+                         std::to_string(addr));
+            first = false;
+            prev_addr = addr;
+            const JsonValue &pf = need(l, "pf", where);
+            if (!pf.isArray())
+                fail("telemetry.analysis", where + ": pf is not an array");
+            for (const JsonValue &p : pf.array()) {
+                if (need(p, "proc", where).asU64() >= procs)
+                    fail("telemetry.analysis",
+                         where + ": pf proc out of range");
+                for (const char *key :
+                     {"timely", "late", "useless", "redundant"}) {
+                    sum[key] += need(p, key, where).asU64();
+                }
+            }
+        }
+        for (const char *key :
+             {"timely", "late", "useless", "redundant"}) {
+            if (sum[key] !=
+                need(run, ("pf_" + std::string(key)).c_str(), where)
+                    .asU64())
+                fail("telemetry.analysis",
+                     where + ": pf_" + key +
+                         " does not equal the sum of its lines");
+        }
+
+        if (const JsonValue *v = run.find("validation")) {
+            need(*v, "profile_label", where);
+            need(*v, "uncovered", where);
+            const double recall =
+                need(*v, "late_recall", where).asDouble();
+            if (recall < 0.0 || recall > 1.0)
+                fail("telemetry.analysis",
+                     where + ": late_recall outside [0,1]");
+            need(*v, "late_floor", where);
+            const JsonValue &matrix = need(*v, "matrix", where);
+            if (!matrix.isArray() || matrix.array().size() != 4)
+                fail("telemetry.analysis",
+                     where + ": matrix must have 4 predicted rows");
+            std::uint64_t matrix_total = 0;
+            for (const JsonValue &row : matrix.array()) {
+                need(row, "predicted", where);
+                for (const char *key :
+                     {"late", "useless", "timely", "other"}) {
+                    matrix_total += need(row, key, where).asU64();
+                }
+            }
+            // The reconciliation contract: every issued prefetch lands
+            // in exactly one cell.
+            if (matrix_total != need(*v, "pf_issued", where).asU64())
+                fail("telemetry.analysis",
+                     where + ": matrix cells do not sum to pf_issued");
+        }
+    }
+
+    const JsonValue &findings = need(doc, "findings", "document");
+    if (!findings.isArray())
+        fail("telemetry.analysis", "findings is not an array");
+    for (const JsonValue &f : findings.array()) {
+        const std::string &rule = need(f, "rule", "finding").asString();
+        if (!isRuleId(rule))
+            fail("telemetry.analysis",
+                 "malformed rule id \"" + rule + "\"");
+        const std::string &sev =
+            need(f, "severity", "finding").asString();
+        if (sev != "warning" && sev != "error")
+            fail("telemetry.analysis",
+                 "finding severity must be warning or error");
+        need(f, "message", "finding");
+        need(f, "location", "finding");
+    }
+    return {runs.array().size(), total_prefetches};
+}
+
 std::size_t
 checkTrace(const JsonValue &doc)
 {
@@ -497,6 +654,12 @@ main(int argc, char **argv)
                 "profile ok: " + std::string(path) + " (" +
                 std::to_string(runs) + " runs, " +
                 std::to_string(lines) + " lines)");
+        } else if (kind == "prefsim-analysis-v1") {
+            const auto [runs, prefetches] = checkAnalysis(*doc);
+            ok_lines.push_back(
+                "analysis ok: " + std::string(path) + " (" +
+                std::to_string(runs) + " runs, " +
+                std::to_string(prefetches) + " prefetches)");
         } else if (doc->find("traceEvents") != nullptr) {
             trace_events += checkTrace(*doc);
             ok_lines.push_back("trace ok: " + std::string(path) + " (" +
@@ -505,8 +668,8 @@ main(int argc, char **argv)
         } else {
             fail("telemetry.schema",
                  "unrecognised document (expected prefsim-telemetry-v1,"
-                 " prefsim-timeseries-v1, prefsim-profile-v1 or a"
-                 " traceEvents document)");
+                 " prefsim-timeseries-v1, prefsim-profile-v1,"
+                 " prefsim-analysis-v1 or a traceEvents document)");
         }
     };
     for (const char *path : paths) {
