@@ -24,6 +24,11 @@
  *                    given explicitly)
  *   --profile-out F  write the prefsim-profile-v1 per-line contention
  *                    attribution JSON document to F
+ *   --critpath-out F write the prefsim-critpath-v1 critical-path
+ *                    analysis JSON document to F
+ *   --whatif-validate  re-simulate each point with an infinitely wide
+ *                    bus and attach the measured cycles to the critpath
+ *                    run (requires --critpath-out; ~2x simulation cost)
  *
  * parseBenchArgs handles the full set in a single pass, so flags can be
  * given in any order; makeEngine turns the result into a SweepEngine.
@@ -63,6 +68,8 @@ struct BenchOptions
     std::string timeseriesOut;
     /** Per-line attribution profile JSON destination (empty = none). */
     std::string profileOut;
+    /** Critical-path analysis JSON destination (empty = none). */
+    std::string critpathOut;
 };
 
 /**
@@ -149,6 +156,11 @@ parseBenchArgs(int argc, char **argv,
         } else if (arg == "--profile-out") {
             opts.profileOut = next();
             opts.sweep.profile = true;
+        } else if (arg == "--critpath-out") {
+            opts.critpathOut = next();
+            opts.sweep.critpath = true;
+        } else if (arg == "--whatif-validate") {
+            opts.sweep.whatifValidate = true;
         } else if (arg == "--help" || arg == "-h") {
             std::cout
                 << "usage: " << (argc > 0 ? argv[0] : "bench")
@@ -183,7 +195,13 @@ parseBenchArgs(int argc, char **argv,
                    "  --timeseries-out F  write prefsim-timeseries-v1 "
                    "JSON to F\n"
                    "  --profile-out F  write prefsim-profile-v1 per-line "
-                   "attribution JSON to F\n";
+                   "attribution JSON to F\n"
+                   "  --critpath-out F write prefsim-critpath-v1 "
+                   "critical-path JSON to F\n"
+                   "  --whatif-validate  validate the infinite-bus "
+                   "what-if against a\n"
+                   "                   widened-bus re-simulation "
+                   "(needs --critpath-out)\n";
             std::exit(0);
         } else if (positional && arg.rfind("--", 0) != 0) {
             positional->push_back(arg);
@@ -196,6 +214,8 @@ parseBenchArgs(int argc, char **argv,
     // default period when none was given explicitly.
     if (!opts.timeseriesOut.empty() && opts.sweep.sampleInterval == 0)
         opts.sweep.sampleInterval = 10000;
+    if (opts.sweep.whatifValidate && !opts.sweep.critpath)
+        prefsim_fatal("--whatif-validate requires --critpath-out");
     return opts;
 }
 
@@ -256,6 +276,21 @@ emitBenchTelemetry(const BenchOptions &opts, const SweepEngine &engine)
             engine.writeProfileJson(out);
             prefsim_inform("wrote attribution profile to ",
                            opts.profileOut);
+        }
+    }
+    if (!opts.critpathOut.empty()) {
+        const ObsContext *obs = engine.obs();
+        if (obs == nullptr || obs->critpath.empty()) {
+            prefsim_warn("--critpath-out: no critical-path runs recorded");
+        }
+        std::ofstream out(opts.critpathOut,
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            prefsim_warn("cannot write critpath file ", opts.critpathOut);
+        } else {
+            engine.writeCritPathJson(out);
+            prefsim_inform("wrote critical-path analysis to ",
+                           opts.critpathOut);
         }
     }
     if (!opts.traceOut.empty()) {

@@ -12,7 +12,7 @@
 # median sim-only time is what the report records.
 #
 # Usage: scripts/bench_perf.sh [--refs N] [--out FILE] [--build DIR]
-#        [--shards N] [--trials N]
+#        [--shards N] [--trials N] [--history FILE]
 #   --refs N    demand references per processor (default 100000, the
 #               acceptance configuration; use a small N for smoke runs)
 #   --out FILE  report destination (default BENCH_simcore.json)
@@ -21,6 +21,11 @@
 #               (default: nproc)
 #   --trials N  runs per configuration; the median is reported
 #               (default 3)
+#   --history FILE  cumulative trend log (default BENCH_history.jsonl;
+#               "none" disables). After the report publishes, every
+#               median row is appended as one prefsim-bench-history-v1
+#               JSON object per line; prefsim_report --compare FILE
+#               plots and gates the per-configuration trend.
 #
 # Engine results are identical by contract, so the experiment cache
 # would serve one engine's numbers to the other; every run below uses
@@ -31,6 +36,7 @@ OUT=BENCH_simcore.json
 BUILD=build
 SHARDS=$(nproc)
 TRIALS=3
+HISTORY=BENCH_history.jsonl
 while [ $# -gt 0 ]; do
     case "$1" in
         --refs) REFS=$2; shift 2 ;;
@@ -38,6 +44,7 @@ while [ $# -gt 0 ]; do
         --build) BUILD=$2; shift 2 ;;
         --shards) SHARDS=$2; shift 2 ;;
         --trials) TRIALS=$2; shift 2 ;;
+        --history) HISTORY=$2; shift 2 ;;
         *) echo "unknown option: $1" >&2; exit 1 ;;
     esac
 done
@@ -126,9 +133,22 @@ run_one() {
     # ratios).
     awk -v l="$label" -v so="$simonly" \
         'BEGIN { printf "%s %.6f\n", l, so }' >> "$TMP/simonly.txt"
+    # One trend-log line per median row; held back until the report
+    # publishes so an aborted run appends nothing.
+    awk -v u="$STAMP" -v l="$label" -v e="$engine" -v p="$procs" \
+        -v h="$shards" -v rf="$REFS" \
+        -v w="$wall" -v c="$cycles" -v r="$refs" -v so="$simonly" 'BEGIN {
+        printf "{\"schema\":\"prefsim-bench-history-v1\",\"utc\":\"%s\",", u
+        printf "\"label\":\"%s\",\"engine\":\"%s\",\"procs\":%d,", l, e, p
+        printf "\"shards\":%d,\"refs_per_proc\":%d,", h, rf
+        printf "\"wall_s\":%.3f,\"sim_only_s\":%.3f,", w, so
+        printf "\"sim_cycles\":%d,\"cycles_per_s\":%.0f}\n", c, c / so
+    }' >> "$TMP/history.jsonl"
     echo "$label: $(awk -v w="$wall" \
         'BEGIN { printf "%.1f", w }')s wall (median of $TRIALS trials)"
 }
+
+STAMP=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
 echo "== simcore throughput (refs=$REFS, shards=$SHARDS, report: $OUT)"
 run_one fig2_event event 16
@@ -171,3 +191,10 @@ run_one micro3_parallel parallel 3 "$SHARDS"
 mv "$OUT.tmp" "$OUT"
 echo "report: $OUT"
 awk '{ print }' "$OUT"
+
+# Only a published report extends the cumulative trend log; inspect it
+# with: prefsim_report --compare $HISTORY
+if [ "$HISTORY" != "none" ]; then
+    cat "$TMP/history.jsonl" >> "$HISTORY"
+    echo "history: $HISTORY ($(wc -l < "$HISTORY") entries)"
+fi

@@ -7,8 +7,10 @@
 #      smoke + the
 #      perf-regression gate (fresh bench_perf.sh vs the checked-in
 #      BENCH_simcore.json, via prefsim_report --compare) + telemetry,
-#      interval time-series and per-line attribution-profile
-#      validation (the latter byte-compared cycle vs parallel);
+#      interval time-series, per-line attribution-profile and
+#      critical-path validation (the latter two byte-compared cycle vs
+#      parallel, with the critpath what-if drift gated <= 15% on the
+#      16-processor fig2 PREF points);
 #   2. the verification layer: exhaustive protocol model checking
 #      (2- and 3-cache), seeded-mutation detection, the trace linter
 #      over all five workload generators, the static analyzer
@@ -190,6 +192,51 @@ if [ "$PROF_ELAPSED" -gt 300 ]; then
 fi
 echo "ok: attribution profile validates in ${PROF_ELAPSED}s (budget 300s)"
 
+stage "critpath validation + what-if drift gate"
+# Critical-path analysis over the 16-processor fig2 sweep — the
+# paper's acceptance point. Three gates: the prefsim-critpath-v1 shape
+# must validate; the cycle and parallel (--shards 4) engines must emit
+# byte-identical documents (--whatif-validate included: the widened-bus
+# re-simulation is engine-invariant by the simcore contract); and on
+# every 16-proc PREF point at the bus-saturating 16-cycle transfer
+# latency the infinite-bus prediction must land within 15% of the
+# re-simulated ground truth. --no-cache: cached points would record
+# only skip markers.
+CRIT_START=$(date +%s)
+"$BUILD"/bench/bench_fig2_exec_time --refs 2000 --procs 16 --quiet \
+    --jobs "$JOBS" --no-cache --engine cycle --whatif-validate \
+    --critpath-out "$CACHE/critpath_cycle.json" > /dev/null
+"$BUILD"/bench/bench_fig2_exec_time --refs 2000 --procs 16 --quiet \
+    --jobs "$JOBS" --no-cache --engine parallel --shards 4 \
+    --whatif-validate \
+    --critpath-out "$CACHE/critpath_parallel.json" > /dev/null
+"$BUILD"/tools/validate_telemetry "$CACHE/critpath_cycle.json"
+cmp "$CACHE/critpath_cycle.json" "$CACHE/critpath_parallel.json"
+echo "ok: critpath byte-identical cycle vs parallel (shards=4)"
+# Split the one-line document at each run label; the only "drift" keys
+# are the validated infinite-bus scenarios, so the first drift in a
+# record is that run's prediction error.
+awk -v RS='"label":"' 'NR > 1 {
+    split($0, parts, "\""); label = parts[1]
+    if (label !~ /\/PREF@16$/) next
+    if (match($0, /"drift":[0-9.eE+-]+/)) {
+        d = substr($0, RSTART + 8, RLENGTH - 8) + 0
+        printf "   %s: infinite-bus drift %.1f%%\n", label, d * 100
+        if (d > 0.15) { print "FAIL: " label " drift above 15%"; bad = 1 }
+        n++
+    }
+} END { if (n == 0) { print "FAIL: no validated PREF@16 runs"; exit 1 }
+        exit bad }' "$CACHE/critpath_cycle.json"
+"$BUILD"/tools/prefsim_report --critpath "$CACHE/critpath_cycle.json" \
+    --top 5 > /dev/null
+CRIT_ELAPSED=$(($(date +%s) - CRIT_START))
+if [ "$CRIT_ELAPSED" -gt 300 ]; then
+    echo "FAIL: critpath stage took ${CRIT_ELAPSED}s (budget 300s)" >&2
+    exit 1
+fi
+echo "ok: critpath validates, what-if within 15% in ${CRIT_ELAPSED}s" \
+    "(budget 300s)"
+
 # --- the verification layer -------------------------------------------
 stage "protocol model check (2 caches)"
 "$BUILD"/tools/prefsim_verify --caches 2
@@ -281,10 +328,16 @@ TSAN_BUILD="$BUILD-tsan"
 cmake -B "$TSAN_BUILD" -DPREFSIM_SANITIZE=thread -DPREFSIM_BUILD_BENCH=OFF \
     -DPREFSIM_BUILD_EXAMPLES=OFF
 cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_sweep \
-    --target test_obs --target test_simcore
+    --target test_obs --target test_simcore --target test_critpath
 "$TSAN_BUILD"/tests/test_sweep
 "$TSAN_BUILD"/tests/test_obs
 echo "ok: test_sweep + test_obs clean under ThreadSanitizer"
+# The recorder's hooks all fire on the engine's main thread; the
+# identity suite (which replays the parallel core at shard counts 1, 2
+# and 4) must stay clean under TSan. The 16-proc what-if point is
+# excluded purely for budget — it is covered by the plain-build ctest.
+"$TSAN_BUILD"/tests/test_critpath --gtest_filter='-CritPathWhatIf.*'
+echo "ok: test_critpath (shards up to 4) clean under ThreadSanitizer"
 
 stage "tsan parallel-engine differential"
 # The sharded conservative-PDES core races its quiet catch-up work

@@ -37,7 +37,8 @@ SweepEngine::SweepEngine(WorkloadParams params, CacheGeometry geometry,
     : params_(params), geometry_(geometry), options_(std::move(options))
 {
     if (options_.metrics || options_.tracing ||
-        options_.sampleInterval > 0 || options_.profile) {
+        options_.sampleInterval > 0 || options_.profile ||
+        options_.critpath) {
         obs_ = std::make_unique<ObsContext>();
         obs_->tracer.setEnabled(options_.tracing);
     }
@@ -204,10 +205,27 @@ SweepEngine::executeBatch(const std::vector<ExperimentSpec> &specs)
             cfg.traceLabel = node.spec->label();
             cfg.sampleInterval = options_.sampleInterval;
             cfg.profile = options_.profile;
+            cfg.critpath = options_.critpath;
         }
         const auto start = std::chrono::steady_clock::now();
         result->sim = simulate(ann->trace, cfg);
         const std::uint64_t nanos = nanosSince(start);
+        if (obs_ && options_.critpath && options_.whatifValidate) {
+            // Ground-truth the "infinite bus bandwidth" what-if: rerun
+            // the same annotated trace with one data channel per
+            // processor (arbitration waits collapse to scheduling
+            // noise) and attach the measured cycles to the committed
+            // critpath run. The validation run is uninstrumented so it
+            // commits no telemetry of its own.
+            SimConfig wide = node.spec->simConfig();
+            wide.engine = options_.engine;
+            wide.shards = options_.shards;
+            wide.timing.dataChannels =
+                static_cast<unsigned>(ann->trace.numProcs());
+            const SimStats actual = simulate(ann->trace, wide);
+            obs_->critpath.attachValidation(node.spec->label(),
+                                            actual.cycles);
+        }
         if (cachingEnabled())
             storeToDisk(*result, node.runKey);
         std::lock_guard<std::mutex> lock(mu_);
@@ -302,6 +320,12 @@ SweepEngine::tryLoadFromDisk(const ExperimentSpec &spec,
         marker.label = spec.label();
         marker.skipped = true;
         obs_->profile.commit(std::move(marker));
+    }
+    if (obs_ && options_.critpath) {
+        obs::CritPathRun marker;
+        marker.label = spec.label();
+        marker.skipped = true;
+        obs_->critpath.commit(std::move(marker));
     }
     return true;
 }
@@ -475,6 +499,12 @@ SweepEngine::writeTelemetryJson(std::ostream &os) const
             static_cast<std::uint64_t>(obs_->profile.numRuns()));
         j.key("lines").value(obs_->profile.totalLines());
         j.endObject();
+        j.key("critpath").beginObject();
+        j.key("enabled").value(options_.critpath);
+        j.key("whatif_validated").value(options_.whatifValidate);
+        j.key("runs").value(
+            static_cast<std::uint64_t>(obs_->critpath.numRuns()));
+        j.endObject();
     }
     j.endObject();
     os << "\n";
@@ -500,6 +530,16 @@ SweepEngine::writeProfileJson(std::ostream &os) const
         return;
     }
     os << "{\"schema\":\"prefsim-profile-v1\",\"runs\":[]}\n";
+}
+
+void
+SweepEngine::writeCritPathJson(std::ostream &os) const
+{
+    if (obs_) {
+        obs_->critpath.writeJson(os);
+        return;
+    }
+    os << "{\"schema\":\"prefsim-critpath-v1\",\"runs\":[]}\n";
 }
 
 } // namespace prefsim

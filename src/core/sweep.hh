@@ -76,6 +76,22 @@ struct SweepOptions
      * `"skipped": "cache-hit"` marker, as above).
      */
     bool profile = false;
+    /**
+     * Critical-path analysis (--critpath-out). Implies an ObsContext;
+     * each freshly simulated point commits one `prefsim-critpath-v1`
+     * run (cache hits commit a `"skipped": "cache-hit"` marker, as
+     * above).
+     */
+    bool critpath = false;
+    /**
+     * Validate the "infinite bus bandwidth" what-if prediction
+     * (--whatif-validate; requires critpath). Every freshly simulated
+     * point is re-simulated with BusTiming::dataChannels widened to the
+     * processor count and the measured cycles are attached to the
+     * critpath run, from which the report derives prediction drift.
+     * Roughly doubles simulation cost.
+     */
+    bool whatifValidate = false;
 };
 
 /** Work accounting: what actually executed vs. came from the cache. */
@@ -199,6 +215,15 @@ class SweepEngine
      * marker runs. Call after runPending() returns.
      */
     void writeProfileJson(std::ostream &os) const;
+
+    /**
+     * Serialise every committed critical-path analysis as one
+     * `prefsim-critpath-v1` document (an empty runs array when
+     * recording was off). Cache-hit points appear as
+     * `"skipped": "cache-hit"` marker runs. Call after runPending()
+     * returns.
+     */
+    void writeCritPathJson(std::ostream &os) const;
 
   private:
     /** Execute @p specs (none of which have results yet) as a DAG. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/critpath/critpath.hh"
 #include "obs/profile/attribution_profiler.hh"
 #include "verify/runtime.hh"
 
@@ -215,6 +216,8 @@ SplitBus::tick(Cycle now)
             a.pending.txn.demandWaiting || !a.pending.txn.isPrefetch;
         if (obs_.profile)
             obs_.profile->busGrant(a.pending.txn.lineBase, occ, demand);
+        if (obs_.critpath)
+            obs_.critpath->busGrant(a.pending.id, a.pending.readyAt, now);
         if (demand) {
             stats_.queueWaitDemand += wait;
             ++stats_.grantsDemand;

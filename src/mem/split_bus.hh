@@ -35,6 +35,7 @@ namespace prefsim
 namespace obs
 {
 class AttributionProfiler;
+class CritPathRecorder;
 } // namespace obs
 
 /**
@@ -53,6 +54,9 @@ struct BusObs
      *  Address-class upgrades never reach the grant path, so the
      *  per-line cycles sum exactly to BusStats::busyCycles. */
     obs::AttributionProfiler *profile = nullptr;
+    /** Grant-edge sink for the critical-path analyzer
+     *  (SimConfig::critpath). */
+    obs::CritPathRecorder *critpath = nullptr;
     /** Per-run event sink (only ever set when PREFSIM_TRACING=1). */
     obs::TraceBuffer *trace = nullptr;
 };

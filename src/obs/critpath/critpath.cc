@@ -1,0 +1,596 @@
+#include "obs/critpath/critpath.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/json.hh"
+#include "common/log.hh"
+
+namespace prefsim
+{
+namespace obs
+{
+
+const char *
+resClassName(ResClass c)
+{
+    switch (c) {
+    case ResClass::Compute: return "compute";
+    case ResClass::BusArb: return "bus_arb";
+    case ResClass::DataTransfer: return "data_transfer";
+    case ResClass::MemoryLatency: return "memory_latency";
+    case ResClass::CoherenceInval: return "coherence_inval";
+    case ResClass::Lock: return "lock";
+    case ResClass::Barrier: return "barrier";
+    case ResClass::PrefetchStall: return "prefetch_stall";
+    }
+    return "unknown";
+}
+
+CritPathRecorder::CritPathRecorder(unsigned procs, std::string label)
+    : procs_(procs), label_(std::move(label)), pieces_(procs),
+      upgradeStartAt_(procs, kNoCycle), upgradeId_(procs, 0),
+      upgradeData_(procs, false), upgradeLine_(procs, kNoAddr),
+      spinStartAt_(procs, kNoCycle), barrierArriveAt_(procs, kNoCycle),
+      stallPrefStartAt_(procs, kNoCycle)
+{
+}
+
+void
+CritPathRecorder::emitPiece(ProcId proc, Cycle start, Cycle end,
+                            ResClass cls, Addr line, ProcId pred,
+                            bool prefetch)
+{
+    if (end <= start)
+        return;
+    auto &chain = pieces_[proc];
+    prefsim_assert(chain.empty() || chain.back().end <= start,
+                   "critpath pieces must be time-ordered per processor");
+    chain.push_back(Piece{start, end, line, pred, cls, prefetch});
+}
+
+void
+CritPathRecorder::busRequest(std::uint64_t id, ProcId proc, Addr line,
+                             Cycle now, bool prefetch, bool invalidation,
+                             bool demand_wait)
+{
+    Txn t;
+    t.waiter = demand_wait ? proc : kNoProc;
+    t.waitStart = demand_wait ? now : kNoCycle;
+    t.line = line;
+    t.prefetch = prefetch;
+    t.inval = invalidation;
+    txns_[id] = t;
+}
+
+void
+CritPathRecorder::busGrant(std::uint64_t id, Cycle ready_at, Cycle now)
+{
+    const auto it = txns_.find(id);
+    if (it == txns_.end())
+        return; // Writebacks and other untracked traffic.
+    it->second.readyAt = ready_at;
+    it->second.grantAt = now;
+}
+
+void
+CritPathRecorder::demandAttach(ProcId proc, std::uint64_t id, Cycle now)
+{
+    const auto it = txns_.find(id);
+    if (it == txns_.end())
+        return;
+    it->second.waiter = proc;
+    it->second.waitStart = now;
+}
+
+void
+CritPathRecorder::demandWaitEnd(ProcId proc, std::uint64_t id, Cycle now)
+{
+    const auto it = txns_.find(id);
+    if (it == txns_.end())
+        return;
+    const Txn t = it->second;
+    txns_.erase(it);
+    if (t.waitStart == kNoCycle)
+        return;
+    // Decompose [waitStart, now) into the memory phase, the arbitration
+    // wait and the data transfer; an attach mid-flight clips the early
+    // phases away.
+    const Cycle s = t.waitStart;
+    const Cycle r = t.readyAt == kNoCycle ? s : t.readyAt;
+    const Cycle g = t.grantAt == kNoCycle ? now : t.grantAt;
+    const ResClass mem_cls =
+        t.inval ? ResClass::CoherenceInval : ResClass::MemoryLatency;
+    const Cycle m_end = std::min(std::max(r, s), now);
+    emitPiece(proc, s, m_end, mem_cls, t.line, kNoProc, t.prefetch);
+    const Cycle a_end = std::min(std::max(g, m_end), now);
+    emitPiece(proc, m_end, a_end, ResClass::BusArb, t.line, kNoProc,
+              t.prefetch);
+    emitPiece(proc, a_end, now, ResClass::DataTransfer, t.line, kNoProc,
+              t.prefetch);
+}
+
+void
+CritPathRecorder::busRelease(std::uint64_t id)
+{
+    txns_.erase(id);
+}
+
+void
+CritPathRecorder::upgradeStart(ProcId proc, std::uint64_t id, Addr line,
+                               Cycle now, bool data)
+{
+    upgradeStartAt_[proc] = now;
+    upgradeId_[proc] = id;
+    upgradeData_[proc] = data;
+    upgradeLine_[proc] = line;
+    if (data) {
+        // WriteUpdate rides the data bus: track it so the grant hook
+        // can split arbitration wait from the broadcast transfer.
+        Txn t;
+        t.waiter = proc;
+        t.waitStart = now;
+        t.line = line;
+        txns_[id] = t;
+    }
+}
+
+void
+CritPathRecorder::upgradeComplete(ProcId proc, Cycle now)
+{
+    const Cycle s = upgradeStartAt_[proc];
+    if (s == kNoCycle)
+        return;
+    upgradeStartAt_[proc] = kNoCycle;
+    const Addr line = upgradeLine_[proc];
+    if (!upgradeData_[proc]) {
+        // Address-class upgrade: pure invalidation traffic.
+        emitPiece(proc, s, now, ResClass::CoherenceInval, line, kNoProc,
+                  false);
+        return;
+    }
+    Cycle g = now;
+    const auto it = txns_.find(upgradeId_[proc]);
+    if (it != txns_.end()) {
+        if (it->second.grantAt != kNoCycle)
+            g = it->second.grantAt;
+        txns_.erase(it);
+    }
+    const Cycle a_end = std::min(std::max(g, s), now);
+    emitPiece(proc, s, a_end, ResClass::BusArb, line, kNoProc, false);
+    emitPiece(proc, a_end, now, ResClass::DataTransfer, line, kNoProc,
+              false);
+}
+
+void
+CritPathRecorder::lockSpinStart(ProcId proc, SyncId lock, Cycle now)
+{
+    (void)lock;
+    spinStartAt_[proc] = now;
+}
+
+void
+CritPathRecorder::lockAcquired(ProcId proc, SyncId lock, Cycle now)
+{
+    const Cycle s = spinStartAt_[proc];
+    if (s == kNoCycle)
+        return;
+    spinStartAt_[proc] = kNoCycle;
+    ProcId pred = kNoProc;
+    const auto it = lockReleaser_.find(lock);
+    if (it != lockReleaser_.end() && it->second != proc)
+        pred = it->second;
+    emitPiece(proc, s, now, ResClass::Lock, kNoAddr, pred, false);
+}
+
+void
+CritPathRecorder::lockReleased(ProcId proc, SyncId lock, Cycle now)
+{
+    (void)now;
+    lockReleaser_[lock] = proc;
+}
+
+void
+CritPathRecorder::barrierArrive(ProcId proc, Cycle now)
+{
+    barrierArriveAt_[proc] = now;
+}
+
+void
+CritPathRecorder::barrierLast(ProcId proc, Cycle now)
+{
+    lastArriver_ = proc;
+    episodeEnds_.push_back(now);
+}
+
+void
+CritPathRecorder::barrierReleased(ProcId proc, Cycle now)
+{
+    const Cycle s = barrierArriveAt_[proc];
+    if (s == kNoCycle)
+        return;
+    barrierArriveAt_[proc] = kNoCycle;
+    const ProcId pred = lastArriver_ == proc ? kNoProc : lastArriver_;
+    emitPiece(proc, s, now, ResClass::Barrier, kNoAddr, pred, false);
+}
+
+void
+CritPathRecorder::prefetchStallStart(ProcId proc, Cycle now)
+{
+    stallPrefStartAt_[proc] = now;
+}
+
+void
+CritPathRecorder::prefetchStallEnd(ProcId proc, Cycle now)
+{
+    const Cycle s = stallPrefStartAt_[proc];
+    if (s == kNoCycle)
+        return;
+    stallPrefStartAt_[proc] = kNoCycle;
+    emitPiece(proc, s, now, ResClass::PrefetchStall, kNoAddr, kNoProc,
+              true);
+}
+
+namespace
+{
+
+/** Chain-segment accumulator used while walking backwards. */
+struct WalkAccum
+{
+    std::array<std::uint64_t, kNumResClasses> path{};
+    std::array<std::uint64_t, kNumResClasses> flagged{};
+    std::vector<CritChainSeg> chain; ///< Descending start order.
+    std::unordered_map<Addr, std::uint64_t> lineCycles;
+
+    void
+    add(ProcId proc, Cycle start, Cycle end, ResClass cls, Addr line,
+        bool prefetch)
+    {
+        if (end <= start)
+            return;
+        const std::uint64_t len = end - start;
+        path[static_cast<std::size_t>(cls)] += len;
+        if (prefetch)
+            flagged[static_cast<std::size_t>(cls)] += len;
+        if (line != kNoAddr && cls != ResClass::Compute)
+            lineCycles[line] += len;
+        if (!chain.empty()) {
+            CritChainSeg &prev = chain.back();
+            if (prev.proc == proc && prev.cls == cls &&
+                prev.start == end) {
+                prev.start = start;
+                if (prev.line != line)
+                    prev.line = kNoAddr;
+                return;
+            }
+        }
+        chain.push_back(CritChainSeg{start, end, proc, cls, line});
+    }
+};
+
+} // namespace
+
+CritPathRun
+CritPathRecorder::take(Cycle warmup_end, Cycle done_at,
+                       const std::vector<Cycle> &finished_at)
+{
+    prefsim_assert(finished_at.size() == procs_,
+                   "critpath take: finish vector size mismatch");
+    CritPathRun run;
+    run.label = label_;
+    run.procs = procs_;
+    run.warmupEnd = warmup_end;
+    run.endCycle = done_at;
+    run.totalCycles = done_at > warmup_end ? done_at - warmup_end : 0;
+    if (run.totalCycles == 0 || procs_ == 0) {
+        for (const char *name :
+             {"infinite_bus", "zero_memory_latency", "free_prefetch"})
+            run.whatif.push_back(WhatIf{name, run.totalCycles, 1.0, 0});
+        return run;
+    }
+
+    // Clamp every piece to the measured region and compute machine-wide
+    // per-class totals (for slack).
+    std::vector<std::vector<Piece>> clamped(procs_);
+    std::vector<Cycle> finish(procs_);
+    std::array<std::uint64_t, kNumResClasses> machine{};
+    for (ProcId p = 0; p < procs_; ++p) {
+        finish[p] = std::min(std::max(finished_at[p], warmup_end), done_at);
+        std::uint64_t waits = 0;
+        for (const Piece &pc : pieces_[p]) {
+            Piece c = pc;
+            c.start = std::max(c.start, warmup_end);
+            c.end = std::min(c.end, done_at);
+            if (c.end <= c.start)
+                continue;
+            machine[static_cast<std::size_t>(c.cls)] += c.end - c.start;
+            waits += c.end - c.start;
+            clamped[p].push_back(c);
+        }
+        const std::uint64_t span = finish[p] - warmup_end;
+        machine[static_cast<std::size_t>(ResClass::Compute)] +=
+            span > waits ? span - waits : 0;
+    }
+
+    // Backward walk from the last retirement. Lock/barrier pieces jump
+    // to the processor that caused the wait; everything between pieces
+    // is compute. The walk covers [warmup_end, done_at) exactly once.
+    ProcId cur = 0;
+    for (ProcId p = 1; p < procs_; ++p)
+        if (finish[p] > finish[cur])
+            cur = p;
+    std::vector<std::ptrdiff_t> cursor(procs_);
+    for (ProcId p = 0; p < procs_; ++p)
+        cursor[p] = static_cast<std::ptrdiff_t>(clamped[p].size()) - 1;
+
+    WalkAccum acc;
+    Cycle t = done_at;
+    while (t > warmup_end) {
+        auto &idx = cursor[cur];
+        const auto &chain = clamped[cur];
+        while (idx >= 0 && chain[static_cast<std::size_t>(idx)].start >= t)
+            --idx;
+        if (idx < 0) {
+            acc.add(cur, warmup_end, t, ResClass::Compute, kNoAddr,
+                    false);
+            t = warmup_end;
+            break;
+        }
+        const Piece &pc = chain[static_cast<std::size_t>(idx)];
+        const Cycle clipped_end = std::min(pc.end, t);
+        acc.add(cur, clipped_end, t, ResClass::Compute, kNoAddr, false);
+        acc.add(cur, pc.start, clipped_end, pc.cls, pc.line, pc.prefetch);
+        t = pc.start;
+        if (pc.pred != kNoProc)
+            cur = pc.pred;
+    }
+    run.pathCycles = acc.path;
+    std::uint64_t covered = 0;
+    for (const std::uint64_t v : acc.path)
+        covered += v;
+    prefsim_assert(covered == run.totalCycles,
+                   "critpath walk must cover the run exactly");
+    for (std::size_t c = 0; c < kNumResClasses; ++c)
+        run.slackCycles[c] =
+            machine[c] > acc.path[c] ? machine[c] - acc.path[c] : 0;
+
+    // --- What-if estimator --------------------------------------------
+    // Episode windows are delimited by barrier releases; inside each
+    // window the run can go no faster than the busiest processor after
+    // the scenario's cycles are deleted. The path-based bound (total
+    // minus on-path removable cycles) is computed too, and the larger
+    // of the two predictions wins.
+    std::vector<Cycle> bounds;
+    bounds.push_back(warmup_end);
+    for (const Cycle e : episodeEnds_)
+        if (e > warmup_end && e < done_at)
+            bounds.push_back(e);
+    bounds.push_back(done_at);
+    const std::size_t num_ep = bounds.size() - 1;
+
+    enum { kInfBus = 0, kZeroMem = 1, kFreePref = 2, kNumScen = 3 };
+    // Per (episode, proc): active cycles and per-scenario removable.
+    std::vector<std::uint64_t> active(num_ep * procs_, 0);
+    std::vector<std::array<std::uint64_t, kNumScen>> removable(
+        num_ep * procs_);
+    for (ProcId p = 0; p < procs_; ++p) {
+        for (std::size_t e = 0; e < num_ep; ++e) {
+            const Cycle lo = bounds[e];
+            const Cycle hi = std::min(bounds[e + 1], finish[p]);
+            active[e * procs_ + p] = hi > lo ? hi - lo : 0;
+        }
+        for (const Piece &pc : clamped[p]) {
+            for (std::size_t e = 0; e < num_ep; ++e) {
+                const Cycle lo = std::max(pc.start, bounds[e]);
+                const Cycle hi = std::min(pc.end, bounds[e + 1]);
+                if (hi <= lo)
+                    continue;
+                const std::uint64_t ov = hi - lo;
+                auto &rem = removable[e * procs_ + p];
+                if (pc.cls == ResClass::Barrier)
+                    active[e * procs_ + p] -=
+                        std::min(active[e * procs_ + p], ov);
+                if (pc.cls == ResClass::BusArb)
+                    rem[kInfBus] += ov;
+                if (pc.cls == ResClass::MemoryLatency)
+                    rem[kZeroMem] += ov;
+                if (pc.prefetch)
+                    rem[kFreePref] += ov;
+            }
+        }
+    }
+    const auto pathIdx = [](ResClass c) {
+        return static_cast<std::size_t>(c);
+    };
+    std::array<std::uint64_t, kNumScen> path_removable{};
+    path_removable[kInfBus] = acc.path[pathIdx(ResClass::BusArb)];
+    path_removable[kZeroMem] = acc.path[pathIdx(ResClass::MemoryLatency)];
+    for (const std::uint64_t v : acc.flagged)
+        path_removable[kFreePref] += v;
+
+    const char *const scen_names[kNumScen] = {
+        "infinite_bus", "zero_memory_latency", "free_prefetch"};
+    for (int s = 0; s < kNumScen; ++s) {
+        std::uint64_t episode_pred = 0;
+        for (std::size_t e = 0; e < num_ep; ++e) {
+            std::uint64_t best = 0;
+            for (ProcId p = 0; p < procs_; ++p) {
+                const std::uint64_t act = active[e * procs_ + p];
+                const std::uint64_t rem =
+                    removable[e * procs_ + p][static_cast<std::size_t>(s)];
+                best = std::max(best, act > rem ? act - rem : 0);
+            }
+            episode_pred += best;
+        }
+        const std::uint64_t path_pred =
+            run.totalCycles -
+            std::min(run.totalCycles,
+                     path_removable[static_cast<std::size_t>(s)]);
+        std::uint64_t pred = std::max(episode_pred, path_pred);
+        pred = std::max<std::uint64_t>(pred, 1);
+        pred = std::min(pred, run.totalCycles);
+        WhatIf w;
+        w.scenario = scen_names[s];
+        w.predictedCycles = pred;
+        w.speedup = static_cast<double>(run.totalCycles) /
+                    static_cast<double>(pred);
+        run.whatif.push_back(std::move(w));
+    }
+
+    // --- Chain and per-line output ------------------------------------
+    std::reverse(acc.chain.begin(), acc.chain.end());
+    constexpr std::size_t kTopChain = 64;
+    if (acc.chain.size() > kTopChain) {
+        std::stable_sort(acc.chain.begin(), acc.chain.end(),
+                         [](const CritChainSeg &a, const CritChainSeg &b) {
+                             return (a.end - a.start) > (b.end - b.start);
+                         });
+        acc.chain.resize(kTopChain);
+        std::sort(acc.chain.begin(), acc.chain.end(),
+                  [](const CritChainSeg &a, const CritChainSeg &b) {
+                      return a.start < b.start;
+                  });
+    }
+    run.chain = std::move(acc.chain);
+
+    run.lines.assign(acc.lineCycles.begin(), acc.lineCycles.end());
+    std::sort(run.lines.begin(), run.lines.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second != b.second ? a.second > b.second
+                                              : a.first < b.first;
+              });
+    constexpr std::size_t kTopLines = 256;
+    if (run.lines.size() > kTopLines)
+        run.lines.resize(kTopLines);
+    std::sort(run.lines.begin(), run.lines.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    return run;
+}
+
+void
+CritPathStore::commit(CritPathRun run)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    runs_.push_back(std::move(run));
+}
+
+void
+CritPathStore::attachValidation(const std::string &label,
+                                std::uint64_t actual_cycles)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (CritPathRun &run : runs_) {
+        if (run.label != label || run.skipped)
+            continue;
+        for (WhatIf &w : run.whatif)
+            if (w.scenario == "infinite_bus")
+                w.actualCycles = actual_cycles;
+    }
+}
+
+bool
+CritPathStore::empty() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return runs_.empty();
+}
+
+std::size_t
+CritPathStore::numRuns() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return runs_.size();
+}
+
+std::vector<CritPathRun>
+CritPathStore::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return runs_;
+}
+
+void
+CritPathStore::writeRunJson(JsonWriter &j, const CritPathRun &run)
+{
+    j.beginObject();
+    j.key("label").value(run.label);
+    if (run.skipped) {
+        j.key("skipped").value("cache-hit");
+        j.endObject();
+        return;
+    }
+    j.key("procs").value(static_cast<std::uint64_t>(run.procs));
+    j.key("warmup_end").value(run.warmupEnd);
+    j.key("end_cycle").value(run.endCycle);
+    j.key("total_cycles").value(run.totalCycles);
+    j.key("resources").beginObject();
+    for (std::size_t c = 0; c < kNumResClasses; ++c) {
+        j.key(resClassName(static_cast<ResClass>(c))).beginObject();
+        j.key("cycles").value(run.pathCycles[c]);
+        j.key("slack").value(run.slackCycles[c]);
+        j.endObject();
+    }
+    j.endObject();
+    j.key("whatif").beginArray();
+    for (const WhatIf &w : run.whatif) {
+        j.beginObject();
+        j.key("scenario").value(w.scenario);
+        j.key("predicted_cycles").value(w.predictedCycles);
+        j.key("speedup").value(w.speedup);
+        if (w.actualCycles > 0) {
+            j.key("actual_cycles").value(w.actualCycles);
+            const double drift =
+                std::abs(static_cast<double>(w.predictedCycles) -
+                         static_cast<double>(w.actualCycles)) /
+                static_cast<double>(w.actualCycles);
+            j.key("drift").value(drift);
+        }
+        j.endObject();
+    }
+    j.endArray();
+    j.key("chain").beginArray();
+    for (const CritChainSeg &seg : run.chain) {
+        j.beginObject();
+        j.key("start").value(seg.start);
+        j.key("end").value(seg.end);
+        j.key("proc").value(static_cast<std::uint64_t>(seg.proc));
+        j.key("class").value(resClassName(seg.cls));
+        j.key("cycles").value(seg.end - seg.start);
+        if (seg.line != kNoAddr)
+            j.key("line").value(seg.line);
+        j.endObject();
+    }
+    j.endArray();
+    j.key("lines").beginArray();
+    for (const auto &[addr, cycles] : run.lines) {
+        j.beginObject();
+        j.key("line").value(addr);
+        j.key("cycles").value(cycles);
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+}
+
+void
+CritPathStore::writeJson(std::ostream &os) const
+{
+    std::vector<CritPathRun> runs = snapshot();
+    std::stable_sort(runs.begin(), runs.end(),
+                     [](const CritPathRun &a, const CritPathRun &b) {
+                         return a.label < b.label;
+                     });
+    JsonWriter j(os);
+    j.beginObject();
+    j.key("schema").value("prefsim-critpath-v1");
+    j.key("runs").beginArray();
+    for (const CritPathRun &run : runs)
+        writeRunJson(j, run);
+    j.endArray();
+    j.endObject();
+    os << "\n";
+}
+
+} // namespace obs
+} // namespace prefsim

@@ -33,6 +33,15 @@ Histogram::record(std::uint64_t v)
     }
     if (v >= bounds_.back()) {
         overflow_.fetch_add(1, std::memory_order_relaxed);
+        // Fetch-max: the overflow bucket is unbounded above, so the
+        // summary needs the actual extreme to anchor its percentiles.
+        std::uint64_t cur =
+            overflowMax_.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !overflowMax_.compare_exchange_weak(
+                   cur, v, std::memory_order_relaxed,
+                   std::memory_order_relaxed)) {
+        }
         return;
     }
     // First boundary strictly greater than v opens the bucket after the
@@ -51,6 +60,7 @@ Histogram::reset()
         c.store(0, std::memory_order_relaxed);
     underflow_.store(0, std::memory_order_relaxed);
     overflow_.store(0, std::memory_order_relaxed);
+    overflowMax_.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
     sum_.store(0, std::memory_order_relaxed);
 }
@@ -100,10 +110,16 @@ Histogram::summary() const
         }
         s.maxBound = bounds_[i + 1];
     }
+    // Overflow values are >= bounds.back() by the record() branch, so
+    // the recorded extreme is the honest upper edge of the
+    // distribution; the old bounds.back() clamp underreported any
+    // tail past the last boundary.
+    const std::uint64_t over_max =
+        std::max(overflowMax(), bounds_.back());
     if (over > 0) {
         if (!found_min)
             s.minBound = bounds_.back();
-        s.maxBound = bounds_.back();
+        s.maxBound = over_max;
     }
 
     const auto percentile = [&](double q) -> double {
@@ -128,8 +144,14 @@ Histogram::summary() const
                               static_cast<double>(bounds_[i + 1]), cnt);
             cum += cnt;
         }
-        // Only the overflow bucket is left; it is unbounded above, so
-        // the percentile clamps to its lower edge.
+        // Only the overflow bucket is left. Interpolate up to the
+        // recorded maximum — clamping to the bucket's lower edge made
+        // p99 of a tail-heavy distribution report bounds.back() no
+        // matter how far past it the tail reached.
+        if (over > 0)
+            return interp(static_cast<double>(bounds_.back()),
+                          static_cast<double>(over_max),
+                          static_cast<double>(over));
         return static_cast<double>(bounds_.back());
     };
     s.p50 = percentile(0.50);

@@ -121,6 +121,12 @@ class Histogram
     {
         return count_.load(std::memory_order_relaxed);
     }
+    /** Largest value recorded into the overflow bucket (0 when the
+     *  overflow bucket is empty); anchors summary interpolation. */
+    std::uint64_t overflowMax() const
+    {
+        return overflowMax_.load(std::memory_order_relaxed);
+    }
     /** Sum of recorded values (for means). */
     std::uint64_t sum() const
     {
@@ -138,11 +144,15 @@ class Histogram
     /**
      * Compact distribution summary derived from the buckets. minBound /
      * maxBound are the bounds of the lowest and highest non-empty
-     * buckets (underflow reports 0, overflow reports bounds.back());
+     * buckets (underflow reports 0; overflow reports the largest value
+     * actually recorded, since the bucket itself is unbounded above);
      * percentiles interpolate linearly inside the bucket holding the
-     * rank, with underflow treated as [0, b0) and overflow clamped to
-     * bounds.back() (an unbounded bucket cannot be interpolated). An
-     * empty histogram summarises to all zeros.
+     * rank, with underflow treated as [0, b0) and overflow as
+     * [bounds.back(), recorded max] — before the recorded max was
+     * tracked, a rank landing in a non-empty overflow bucket degraded
+     * to the bucket's lower bound, silently underreporting p99 of any
+     * tail-heavy distribution. An empty histogram summarises to all
+     * zeros.
      */
     struct Summary
     {
@@ -164,6 +174,7 @@ class Histogram
     std::vector<std::atomic<std::uint64_t>> counts_;
     std::atomic<std::uint64_t> underflow_{0};
     std::atomic<std::uint64_t> overflow_{0};
+    std::atomic<std::uint64_t> overflowMax_{0};
     std::atomic<std::uint64_t> count_{0};
     std::atomic<std::uint64_t> sum_{0};
 };

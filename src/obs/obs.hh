@@ -16,6 +16,7 @@
 #ifndef PREFSIM_OBS_OBS_HH
 #define PREFSIM_OBS_OBS_HH
 
+#include "obs/critpath/critpath.hh"
 #include "obs/interval_sampler.hh"
 #include "obs/metrics.hh"
 #include "obs/profile/attribution_profiler.hh"
@@ -35,6 +36,9 @@ struct ObsContext
     /** Finished per-line attribution profiles (SimConfig::profile);
      *  serialised as `prefsim-profile-v1`. */
     obs::ProfileStore profile;
+    /** Finished critical-path analyses (SimConfig::critpath);
+     *  serialised as `prefsim-critpath-v1`. */
+    obs::CritPathStore critpath;
 };
 
 } // namespace prefsim

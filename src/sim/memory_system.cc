@@ -35,7 +35,8 @@ MemorySystem::MemorySystem(unsigned num_procs, const CacheGeometry &geom,
 
 void
 MemorySystem::attachObs(ObsContext &ctx, obs::TraceBuffer *trace,
-                        obs::AttributionProfiler *profiler)
+                        obs::AttributionProfiler *profiler,
+                        obs::CritPathRecorder *critpath)
 {
     // Bus: queue depth seen by arriving requests, and the arbitration
     // wait of each class (paper §3.3's demand-first policy made visible).
@@ -47,6 +48,7 @@ MemorySystem::attachObs(ObsContext &ctx, obs::TraceBuffer *trace,
     bo.arbWaitPrefetch = &ctx.metrics.histogram("bus.arb_wait_prefetch",
                                                 obs::powerOfTwoBounds(14));
     bo.profile = profiler;
+    bo.critpath = critpath;
     bo.trace = trace;
     bus_.setObs(bo);
 
@@ -62,6 +64,7 @@ MemorySystem::attachObs(ObsContext &ctx, obs::TraceBuffer *trace,
         c->setObs(co);
 
     obs_.profile = profiler;
+    obs_.critpath = critpath;
     obs_.prefetchLateness = &ctx.metrics.histogram(
         "prefetch.lateness_cycles", obs::powerOfTwoBounds(14));
     obs_.invalidations = &ctx.metrics.counter("coherence.invalidations");
@@ -284,7 +287,10 @@ MemorySystem::demandAccess(ProcId proc, Addr addr, bool is_write, Cycle now)
             // Receivers keep their copies; memory is updated by the
             // broadcast, so the line stays clean-shared everywhere.
         }
-        bus_.request(t, now);
+        const std::uint64_t up_id = bus_.request(t, now);
+        if (obs_.critpath)
+            obs_.critpath->upgradeStart(proc, up_id, base, now,
+                                        t.kind == BusOpKind::WriteUpdate);
         ++stats_[proc].upgradesIssued;
         prefsim_assert(pending_upgrade_[proc] == kNoAddr,
                        "overlapping upgrades on proc ", proc);
@@ -306,6 +312,8 @@ MemorySystem::demandAccess(ProcId proc, Addr addr, bool is_write, Cycle now)
             m->demandWord = word;
             m->demandAttachedAt = now;
             bus_.promoteToDemand(m->busId);
+            if (obs_.critpath)
+                obs_.critpath->demandAttach(proc, m->busId, now);
             if (obs_.lateDemandAttach)
                 obs_.lateDemandAttach->inc();
             if (obs_.profile) {
@@ -364,7 +372,7 @@ MemorySystem::demandAccess(ProcId proc, Addr addr, bool is_write, Cycle now)
     const CacheFrame *matching = c.findFrame(addr);
     if (matching == nullptr)
         matching = c.findVictim(addr);
-    classifyMiss(proc, matching, base, lost);
+    const bool inval_miss = classifyMiss(proc, matching, base, lost);
 
     const SnoopSummary snoop = probeOthers(proc, base);
     Transaction t;
@@ -393,6 +401,10 @@ MemorySystem::demandAccess(ProcId proc, Addr addr, bool is_write, Cycle now)
     m.demandWaiting = true;
     m.demandWord = word;
     m.busId = bus_.request(t, now);
+    if (obs_.critpath)
+        obs_.critpath->busRequest(m.busId, proc, base, now,
+                                  /*prefetch=*/false, inval_miss,
+                                  /*demand_wait=*/true);
     PREFSIM_VERIFY_MEM_LINE(*this, base);
     return AccessResult::MissWait;
 }
@@ -449,6 +461,10 @@ MemorySystem::prefetchAccess(ProcId proc, Addr addr, bool exclusive,
     }
     Mshr &m = c.allocateMshr(base, target, /*is_prefetch=*/true);
     m.busId = bus_.request(t, now);
+    if (obs_.critpath)
+        obs_.critpath->busRequest(m.busId, proc, base, now,
+                                  /*prefetch=*/true, /*invalidation=*/false,
+                                  /*demand_wait=*/false);
     PREFSIM_VERIFY_MEM_LINE(*this, base);
     ++stats_[proc].prefetchMisses;
     if (obs_.profile)
@@ -461,7 +477,7 @@ MemorySystem::prefetchAccess(ProcId proc, Addr addr, bool exclusive,
     return PrefetchResult::Issued;
 }
 
-void
+bool
 MemorySystem::classifyMiss(ProcId proc, const CacheFrame *frame,
                            Addr line_base, bool prefetched_lost)
 {
@@ -497,6 +513,7 @@ MemorySystem::classifyMiss(ProcId proc, const CacheFrame *frame,
         obs_.profile->miss(line_base, kind,
                            invalidation && frame->invalFalseSharing);
     }
+    return invalidation;
 }
 
 void
@@ -518,6 +535,8 @@ MemorySystem::onBusComplete(const Transaction &txn, Cycle now)
         prefsim_assert(pending_upgrade_[txn.requester] == txn.lineBase,
                        "update completion mismatch");
         pending_upgrade_[txn.requester] = kNoAddr;
+        if (obs_.critpath)
+            obs_.critpath->upgradeComplete(txn.requester, now);
         if (wake_)
             wake_(txn.requester, /*retry=*/false);
         return;
@@ -527,6 +546,8 @@ MemorySystem::onBusComplete(const Transaction &txn, Cycle now)
         prefsim_assert(pending_upgrade_[txn.requester] == txn.lineBase,
                        "upgrade completion mismatch");
         pending_upgrade_[txn.requester] = kNoAddr;
+        if (obs_.critpath)
+            obs_.critpath->upgradeComplete(txn.requester, now);
         CacheFrame *f = c.findFrame(txn.lineBase);
         if (f && f->state == LineState::Shared) {
             // The write is ordered at the upgrade's request time. If a
@@ -555,6 +576,12 @@ MemorySystem::onBusComplete(const Transaction &txn, Cycle now)
         // retires, and the line installs, parks, or arrives dead.
         ++cache_version_[txn.requester];
         const Mshr m = c.releaseMshr(txn.lineBase);
+        if (obs_.critpath) {
+            if (m.demandWaiting)
+                obs_.critpath->demandWaitEnd(txn.requester, m.busId, now);
+            else
+                obs_.critpath->busRelease(m.busId);
+        }
         // The prefetch was late: a demand access has been blocked on
         // this fill since demandAttachedAt. (Demand misses record their
         // full wait in ProcStats; this histogram isolates the residual

@@ -64,6 +64,11 @@ struct MemObs
      *  quiet hit replay and is sharded per processor (see
      *  obs/profile/attribution_profiler.hh). */
     obs::AttributionProfiler *profile = nullptr;
+    /** Dependency-edge sink for the critical-path analyzer
+     *  (SimConfig::critpath). Every site is main-thread work: miss
+     *  issue, late demand attach, upgrade traffic and bus completions
+     *  are all exact-cycle events the engines never replay quietly. */
+    obs::CritPathRecorder *critpath = nullptr;
     /** Per-run event sink (only ever set when PREFSIM_TRACING=1). */
     obs::TraceBuffer *trace = nullptr;
 };
@@ -163,13 +168,15 @@ class MemorySystem
 
     /**
      * Register this memory system's metrics in @p ctx and wire @p trace
-     * (may be null: metrics without event tracing) and @p profiler (may
-     * be null: no per-line attribution) through to the bus and the
-     * caches. Idempotent; not called at all in the default
-     * uninstrumented configuration.
+     * (may be null: metrics without event tracing), @p profiler (may
+     * be null: no per-line attribution) and @p critpath (may be null:
+     * no dependency recording) through to the bus and the caches.
+     * Idempotent; not called at all in the default uninstrumented
+     * configuration.
      */
     void attachObs(ObsContext &ctx, obs::TraceBuffer *trace,
-                   obs::AttributionProfiler *profiler = nullptr);
+                   obs::AttributionProfiler *profiler = nullptr,
+                   obs::CritPathRecorder *critpath = nullptr);
 
     /**
      * Observer invoked on every classified CPU miss with the line base
@@ -385,8 +392,10 @@ class MemorySystem
     void onBusComplete(const Transaction &txn, Cycle now);
 
     /** Classify and count a CPU miss discovered on @p frame (the
-     *  tag-matching frame, possibly nullptr). */
-    void classifyMiss(ProcId proc, const CacheFrame *frame, Addr line_base,
+     *  tag-matching frame, possibly nullptr). Returns true when the
+     *  miss is an invalidation miss (the critical-path recorder files
+     *  its refetch latency under coherence, not raw memory latency). */
+    bool classifyMiss(ProcId proc, const CacheFrame *frame, Addr line_base,
                       bool prefetched_lost);
 
     CacheGeometry geom_;

@@ -107,6 +107,8 @@ Processor::tick(Cycle now)
             ++stats_.busy;
             state_ = State::Running;
             endStall(now);
+            if (critpath_)
+                critpath_->lockAcquired(id_, r.sync, now);
             PREFSIM_TRACE(trace_buf_,
                           instant(id_, "lock_acquire", obs::TraceCat::Sync,
                                   now, kNoAddr, r.sync));
@@ -129,6 +131,8 @@ Processor::tick(Cycle now)
             ++stats_.prefetchesExecuted;
             state_ = State::Running;
             endStall(now);
+            if (critpath_)
+                critpath_->prefetchStallEnd(id_, now);
             advance(now);
         }
         return;
@@ -182,6 +186,8 @@ Processor::tick(Cycle now)
         if (res == PrefetchResult::BufferFull) {
             ++stats_.stallPrefetchQueue;
             state_ = State::StallPrefetch;
+            if (critpath_)
+                critpath_->prefetchStallStart(id_, now);
             markStall("stall_prefetch_buffer", obs::TraceCat::Exec, now);
         } else {
             ++stats_.busy;
@@ -201,6 +207,8 @@ Processor::tick(Cycle now)
         } else {
             ++stats_.spinLock;
             state_ = State::SpinLock;
+            if (critpath_)
+                critpath_->lockSpinStart(id_, r.sync, now);
             markStall("spin_lock", obs::TraceCat::Sync, now);
         }
         return;
@@ -208,6 +216,8 @@ Processor::tick(Cycle now)
       case RecordKind::LockRelease:
         ++stats_.busy;
         locks_.release(r.sync, id_);
+        if (critpath_)
+            critpath_->lockReleased(id_, r.sync, now);
         if (lock_release_)
             lock_release_(r.sync);
         PREFSIM_TRACE(trace_buf_,
@@ -222,13 +232,19 @@ Processor::tick(Cycle now)
                       instant(id_, "barrier_arrive", obs::TraceCat::Sync,
                               now, kNoAddr, r.sync));
         if (barriers_.arrive(r.sync, id_)) {
-            // Last arrival: everyone proceeds.
+            // Last arrival: everyone proceeds. The recorder learns the
+            // episode's critical arriver before the waiters release, so
+            // their barrier pieces carry the right predecessor.
+            if (critpath_)
+                critpath_->barrierLast(id_, now);
             advance(now);
             if (release_all_)
                 release_all_(now);
         } else {
             state_ = State::WaitBarrier;
             beginLazyStall(&stats_.waitBarrier, now);
+            if (critpath_)
+                critpath_->barrierArrive(id_, now);
             markStall("wait_barrier", obs::TraceCat::Sync, now);
         }
         return;
@@ -265,6 +281,8 @@ Processor::barrierRelease(Cycle now, bool ticked_this_cycle)
                    describeState());
     state_ = State::Running;
     endStall(now);
+    if (critpath_)
+        critpath_->barrierReleased(id_, now);
     // Settle the waiting span. Releases happen mid-rotation (the last
     // arriver executes its Barrier record), so processors whose service
     // slot preceded the releaser's already spent cycle `now` waiting

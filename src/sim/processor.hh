@@ -237,6 +237,11 @@ class Processor
     /** Attach this run's event sink (null detaches; no-op by default). */
     void setTrace(obs::TraceBuffer *t) { trace_buf_ = t; }
 
+    /** Attach this run's critical-path recorder (null detaches). All
+     *  hook sites are exact-cycle state transitions on the engine's
+     *  main thread — never inside quiet fast-forward replay. */
+    void setCritPath(obs::CritPathRecorder *r) { critpath_ = r; }
+
   private:
     enum class State : std::uint8_t
     {
@@ -345,6 +350,7 @@ class Processor
     /** @} */
 
     obs::TraceBuffer *trace_buf_ = nullptr;
+    obs::CritPathRecorder *critpath_ = nullptr;
     Cycle stall_begin_ = 0;       ///< Open-stall bookkeeping (tracing).
     const char *stall_name_ = "stall";
     obs::TraceCat stall_cat_ = obs::TraceCat::Exec;

@@ -163,9 +163,17 @@ Simulator::Simulator(const ParallelTrace &trace, const SimConfig &config)
                 static_cast<unsigned>(trace.numProcs()),
                 config.traceLabel.empty() ? "run" : config.traceLabel);
         }
-        mem_->attachObs(*config.obs, trace_buf_.get(), profiler_.get());
-        for (auto &pr : procs_)
+        if (config.critpath) {
+            critpath_ = std::make_unique<obs::CritPathRecorder>(
+                static_cast<unsigned>(trace.numProcs()),
+                config.traceLabel.empty() ? "run" : config.traceLabel);
+        }
+        mem_->attachObs(*config.obs, trace_buf_.get(), profiler_.get(),
+                        critpath_.get());
+        for (auto &pr : procs_) {
             pr->setTrace(trace_buf_.get());
+            pr->setCritPath(critpath_.get());
+        }
         if (config.sampleInterval > 0) {
             sampler_ = std::make_unique<obs::IntervalSampler>(
                 config.sampleInterval,
@@ -795,6 +803,17 @@ Simulator::run()
     if (profiler_) {
         config_.obs->profile.commit(profiler_->take(warmup_end_));
         profiler_.reset();
+    }
+    // The critical-path walk wants absolute retirement cycles (the
+    // recorder clamps everything to the measured window itself, so no
+    // warmup reset is needed — pre-warmup pieces simply clip away).
+    if (critpath_) {
+        std::vector<Cycle> finished(proc_stats_.size());
+        for (std::size_t p = 0; p < proc_stats_.size(); ++p)
+            finished[p] = proc_stats_[p].finishedAt;
+        config_.obs->critpath.commit(
+            critpath_->take(warmup_end_, done_at, finished));
+        critpath_.reset();
     }
     if (config_.obs && trace_buf_) {
         // Ring-buffer eviction is otherwise silent; the counter makes

@@ -135,6 +135,18 @@ struct SimConfig
      * all three engines (asserted by tests/test_profile.cc).
      */
     bool profile = false;
+    /**
+     * Critical-path dependency recording (off by default; requires
+     * obs). The run partitions every processor's timeline into
+     * resource-classed pieces at the existing side-effect boundaries,
+     * walks the last-arrival chain backwards from the final retirement
+     * and commits a `prefsim-critpath-v1` run (path breakdown, slack,
+     * what-if speedup bounds) to obs->critpath. Recording never
+     * perturbs results: simulation statistics are byte-identical with
+     * it on or off, and the analysis itself is byte-identical across
+     * all three engines (asserted by tests/test_critpath.cc).
+     */
+    bool critpath = false;
     /** Label of this run's trace session (sweep spec label; shown as
      *  the Chrome trace process name). */
     std::string traceLabel;
@@ -305,6 +317,10 @@ class Simulator
      *  writeback drain so per-line bus cycles sum to the final
      *  BusStats::busyCycles. */
     std::unique_ptr<obs::AttributionProfiler> profiler_;
+
+    /** Critical-path recorder (null when recording is off); the
+     *  finished analysis is committed to obs->critpath by run(). */
+    std::unique_ptr<obs::CritPathRecorder> critpath_;
 
     /** Interval time-series sampler (null when sampling is off); the
      *  finished series is committed to obs->timeseries by run(). */

@@ -93,7 +93,7 @@ TEST(HistogramSummary, EmptyHistogramIsAllZeros)
     EXPECT_DOUBLE_EQ(s.p99, 0.0);
 }
 
-TEST(HistogramSummary, AllOverflowClampsToTheLastBound)
+TEST(HistogramSummary, AllOverflowInterpolatesToTheRecordedMax)
 {
     Histogram h({0, 10});
     h.record(100);
@@ -102,13 +102,43 @@ TEST(HistogramSummary, AllOverflowClampsToTheLastBound)
     const Histogram::Summary s = h.summary();
     EXPECT_EQ(s.count, 3u);
     EXPECT_EQ(s.sum, 600u);
-    // The overflow bucket is unbounded above; both the bucket bounds
-    // and every percentile clamp to the last boundary.
+    EXPECT_EQ(h.overflowMax(), 300u);
+    // The overflow bucket is unbounded above, so the recorded max —
+    // not the last boundary — anchors its upper edge: percentiles
+    // interpolate across [10, 300] holding all 3 samples.
     EXPECT_EQ(s.minBound, 10u);
-    EXPECT_EQ(s.maxBound, 10u);
-    EXPECT_DOUBLE_EQ(s.p50, 10.0);
-    EXPECT_DOUBLE_EQ(s.p90, 10.0);
-    EXPECT_DOUBLE_EQ(s.p99, 10.0);
+    EXPECT_EQ(s.maxBound, 300u);
+    EXPECT_DOUBLE_EQ(s.p50, 10.0 + 1.5 / 3.0 * 290.0);
+    EXPECT_DOUBLE_EQ(s.p90, 10.0 + 2.7 / 3.0 * 290.0);
+    EXPECT_DOUBLE_EQ(s.p99, 10.0 + 2.97 / 3.0 * 290.0);
+}
+
+TEST(HistogramSummary, TailHeavyP99ExceedsTheLastBound)
+{
+    // The regression this guards: in-range samples plus one huge
+    // outlier used to summarise with p99 == bounds.back() (the
+    // overflow bucket reported its lower edge), hiding the tail
+    // entirely. With 9 in-range samples and 1 outlier, p99's rank
+    // (9.9 of 10) lands in the overflow bucket, so it must reflect
+    // the outlier.
+    Histogram h({0, 10});
+    for (int i = 0; i < 9; ++i)
+        h.record(5);
+    h.record(100000);
+    const Histogram::Summary s = h.summary();
+    EXPECT_EQ(s.maxBound, 100000u);
+    EXPECT_GT(s.p99, 10.0);
+    EXPECT_LE(s.p99, 100000.0);
+    EXPECT_DOUBLE_EQ(s.p99, 10.0 + 0.9 * (100000.0 - 10.0));
+    EXPECT_LE(s.p50, s.p90);
+    EXPECT_LE(s.p90, s.p99);
+    // A value landing exactly on the last boundary also counts as
+    // overflow and must anchor the max there, not past it.
+    Histogram edge({0, 10});
+    edge.record(10);
+    EXPECT_EQ(edge.overflowMax(), 10u);
+    EXPECT_EQ(edge.summary().maxBound, 10u);
+    EXPECT_DOUBLE_EQ(edge.summary().p99, 10.0);
 }
 
 TEST(HistogramSummary, SingleBucketInterpolatesLinearly)
@@ -166,6 +196,7 @@ TEST(Histogram, ResetZeroesCountsNotBounds)
     EXPECT_EQ(h.count(), 0u);
     EXPECT_EQ(h.sum(), 0u);
     EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.overflowMax(), 0u);
     EXPECT_EQ(h.bounds().size(), 5u); // 0..4 survives the reset.
     EXPECT_EQ(h.bucketCount(2), 0u);
 }

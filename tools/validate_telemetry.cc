@@ -20,6 +20,11 @@
  *    strictly ascending address order with the full per-line counter
  *    set, and the run's totals block must equal the sum of its rows
  *    (the Table 3 consistency contract);
+ *  - prefsim-critpath-v1 (--critpath-out) must carry exactly the
+ *    closed resource-class set per run, per-class path cycles that sum
+ *    to the critical-path length, non-negative slack, what-if speedups
+ *    >= 1.0 with predicted cycles <= the measured total, and a chain
+ *    of non-overlapping segments in ascending time order;
  *  - prefsim-analysis-v1 (prefsim_analyze --json) must sum its
  *    per-class prefetch counts back to the run total, list ledger
  *    lines in strictly ascending address order, carry well-formed
@@ -386,6 +391,142 @@ checkProfile(const JsonValue &doc)
     return {runs.array().size(), total_lines};
 }
 
+/** Returns (runs, total chain segments) for the ok line. */
+std::pair<std::size_t, std::uint64_t>
+checkCritPath(const JsonValue &doc)
+{
+    // The closed resource-class set; the schema may not grow keys
+    // silently (obs/critpath/critpath.hh keeps the enum in sync).
+    static const char *kClasses[] = {
+        "compute",       "bus_arb", "data_transfer", "memory_latency",
+        "coherence_inval", "lock",  "barrier",       "prefetch_stall"};
+    const JsonValue &runs = need(doc, "runs", "document");
+    if (!runs.isArray())
+        fail("telemetry.critpath", "runs is not an array");
+    std::uint64_t total_segs = 0;
+    for (const JsonValue &run : runs.array()) {
+        const std::string where =
+            "run \"" + need(run, "label", "run").asString() + "\"";
+        if (isSkippedRun(run, where, "telemetry.critpath"))
+            continue;
+        need(run, "procs", where);
+        const std::uint64_t warmup_end =
+            need(run, "warmup_end", where).asU64();
+        const std::uint64_t end_cycle =
+            need(run, "end_cycle", where).asU64();
+        const std::uint64_t total =
+            need(run, "total_cycles", where).asU64();
+        if (end_cycle < warmup_end || end_cycle - warmup_end != total)
+            fail("telemetry.critpath",
+                 where + ": total_cycles does not equal "
+                         "end_cycle - warmup_end");
+
+        // Exactly the closed class set, with Σ path cycles == total.
+        const JsonValue &resources = need(run, "resources", where);
+        std::set<std::string> seen;
+        for (const auto &[name, r] : resources.members()) {
+            bool known = false;
+            for (const char *c : kClasses)
+                known = known || name == c;
+            if (!known)
+                fail("telemetry.critpath",
+                     where + ": unknown resource class \"" + name +
+                         "\"");
+            seen.insert(name);
+            need(r, "cycles", where);
+            need(r, "slack", where); // Unsigned by schema: slack >= 0.
+        }
+        std::uint64_t class_sum = 0;
+        for (const char *c : kClasses) {
+            if (!seen.count(c))
+                fail("telemetry.critpath",
+                     where + ": missing resource class \"" +
+                         std::string(c) + "\"");
+            class_sum +=
+                need(need(resources, c, where), "cycles", where).asU64();
+        }
+        if (class_sum != total)
+            fail("telemetry.critpath",
+                 where + ": per-class path cycles do not sum to "
+                         "total_cycles");
+
+        const JsonValue &whatif = need(run, "whatif", where);
+        if (!whatif.isArray())
+            fail("telemetry.critpath", where + ": whatif is not an array");
+        for (const JsonValue &w : whatif.array()) {
+            const std::string scenario =
+                need(w, "scenario", where).asString();
+            const std::uint64_t predicted =
+                need(w, "predicted_cycles", where).asU64();
+            if (predicted > total)
+                fail("telemetry.critpath",
+                     where + ": \"" + scenario +
+                         "\" predicts more cycles than measured");
+            if (need(w, "speedup", where).asDouble() < 1.0)
+                fail("telemetry.critpath",
+                     where + ": \"" + scenario + "\" speedup below 1.0");
+            if (const JsonValue *drift = w.find("drift")) {
+                if (drift->asDouble() < 0.0)
+                    fail("telemetry.critpath",
+                         where + ": \"" + scenario +
+                             "\" drift is negative");
+                need(w, "actual_cycles", where);
+            }
+        }
+
+        // The chain tiles forward in time: half-open, non-overlapping,
+        // ascending (segments may be sparse — only the top K survive).
+        const JsonValue &chain = need(run, "chain", where);
+        if (!chain.isArray())
+            fail("telemetry.critpath", where + ": chain is not an array");
+        total_segs += chain.array().size();
+        std::uint64_t prev_end = warmup_end;
+        for (const JsonValue &seg : chain.array()) {
+            const std::uint64_t start = need(seg, "start", where).asU64();
+            const std::uint64_t end = need(seg, "end", where).asU64();
+            if (start >= end)
+                fail("telemetry.critpath",
+                     where + ": empty or inverted chain segment");
+            if (start < prev_end)
+                fail("telemetry.critpath",
+                     where + ": chain segments overlap or regress");
+            if (end > end_cycle)
+                fail("telemetry.critpath",
+                     where + ": chain segment past end_cycle");
+            if (need(seg, "cycles", where).asU64() != end - start)
+                fail("telemetry.critpath",
+                     where + ": chain segment cycles != end - start");
+            const std::string cls =
+                need(seg, "class", where).asString();
+            bool known = false;
+            for (const char *c : kClasses)
+                known = known || cls == c;
+            if (!known)
+                fail("telemetry.critpath",
+                     where + ": unknown chain class \"" + cls + "\"");
+            need(seg, "proc", where);
+            prev_end = end;
+        }
+
+        const JsonValue &lines = need(run, "lines", where);
+        if (!lines.isArray())
+            fail("telemetry.critpath", where + ": lines is not an array");
+        std::uint64_t prev_addr = 0;
+        bool first = true;
+        for (const JsonValue &l : lines.array()) {
+            const std::uint64_t addr = need(l, "line", where).asU64();
+            if (!first && addr <= prev_addr)
+                fail("telemetry.critpath",
+                     where + ": line addresses are not strictly "
+                             "ascending");
+            first = false;
+            prev_addr = addr;
+            need(l, "cycles", where);
+        }
+    }
+    return {runs.array().size(), total_segs};
+}
+
 /** Dotted lowercase rule id: "race.lockset", "prefetch.quality.late". */
 bool
 isRuleId(const std::string &rule)
@@ -654,6 +795,12 @@ main(int argc, char **argv)
                 "profile ok: " + std::string(path) + " (" +
                 std::to_string(runs) + " runs, " +
                 std::to_string(lines) + " lines)");
+        } else if (kind == "prefsim-critpath-v1") {
+            const auto [runs, segs] = checkCritPath(*doc);
+            ok_lines.push_back(
+                "critpath ok: " + std::string(path) + " (" +
+                std::to_string(runs) + " runs, " +
+                std::to_string(segs) + " chain segments)");
         } else if (kind == "prefsim-analysis-v1") {
             const auto [runs, prefetches] = checkAnalysis(*doc);
             ok_lines.push_back(
@@ -669,7 +816,8 @@ main(int argc, char **argv)
             fail("telemetry.schema",
                  "unrecognised document (expected prefsim-telemetry-v1,"
                  " prefsim-timeseries-v1, prefsim-profile-v1,"
-                 " prefsim-analysis-v1 or a traceEvents document)");
+                 " prefsim-critpath-v1, prefsim-analysis-v1 or a"
+                 " traceEvents document)");
         }
     };
     for (const char *path : paths) {
